@@ -1,0 +1,85 @@
+// Ablation: ADD-PATH on the controller's iBGP session (paper §4.3).
+//
+// "The blackholing controller uses BGP's recently standardized ADD-PATH
+// capability to bypass BGP best path selection at the route server. This is
+// essential for a number of corner cases, e.g., to be able to honor the same
+// prefix from different member ASes with diverging blackholing rules."
+//
+// Scenario: an anycast prefix is delegated to two members (both IRR-
+// authorized). Both are attacked and signal *different* rules for the same
+// /32 (one drops NTP, one drops DNS). With ADD-PATH the controller sees both
+// paths and installs both members' rules; without it, the paths collide in
+// its RIB and one member's protection is silently lost.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace stellar;
+using namespace stellar::bench;
+
+std::size_t RunScenario(bool use_add_path, std::size_t* rules_installed_total) {
+  sim::EventQueue queue;
+  ixp::Ixp ixp(queue);
+  ixp::MemberSpec a;
+  a.asn = 65001;
+  a.address_space = P4("100.10.10.0/24");
+  auto& member_a = ixp.add_member(a);
+  ixp::MemberSpec b;
+  b.asn = 65002;
+  b.address_space = P4("60.2.0.0/20");
+  auto& member_b = ixp.add_member(b);
+  // Prefix delegation: both members are authorized for the anycast /24
+  // ("this does not interfere with prefix delegations", §4.3) — route object
+  // and ROA for the second origin.
+  ixp.irr().add_route_object(P4("100.10.10.0/24"), 65002);
+  ixp.rpki().add_roa({P4("100.10.10.0/24"), 32, 65002});
+
+  core::StellarSystem::Config config;
+  config.controller.use_add_path = use_add_path;
+  core::StellarSystem stellar_system(ixp, config);
+  ixp.settle(30.0);
+
+  core::Signal drop_ntp;
+  drop_ntp.rules.push_back({core::RuleKind::kUdpSrcPort, net::kPortNtp});
+  core::SignalAdvancedBlackholing(member_a, ixp.route_server(),
+                                  P4("100.10.10.10/32"), drop_ntp);
+  core::Signal drop_dns;
+  drop_dns.rules.push_back({core::RuleKind::kUdpSrcPort, net::kPortDns});
+  core::SignalAdvancedBlackholing(member_b, ixp.route_server(),
+                                  P4("100.10.10.10/32"), drop_dns);
+  ixp.settle(30.0);
+
+  const std::size_t port_a = ixp.edge_router().policy(member_a.info().port).rule_count();
+  const std::size_t port_b = ixp.edge_router().policy(member_b.info().port).rule_count();
+  *rules_installed_total = port_a + port_b;
+  std::size_t protected_members = (port_a > 0 ? 1u : 0u) + (port_b > 0 ? 1u : 0u);
+  return protected_members;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation — ADD-PATH on the blackholing controller session",
+              "CoNEXT'18 Stellar paper, Section 4.3 (signaling design)");
+
+  std::size_t rules_with = 0;
+  std::size_t rules_without = 0;
+  const std::size_t protected_with = RunScenario(true, &rules_with);
+  const std::size_t protected_without = RunScenario(false, &rules_without);
+
+  util::TextTable table({"controller session", "members protected (of 2)",
+                         "rules installed (of 2)"});
+  table.add_row({"iBGP + ADD-PATH (paper)", std::to_string(protected_with),
+                 std::to_string(rules_with)});
+  table.add_row({"iBGP, best path only", std::to_string(protected_without),
+                 std::to_string(rules_without)});
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "takeaway: without ADD-PATH the two members' paths for the shared /32\n"
+      "collide in the controller RIB and only one survives — a silently\n"
+      "unprotected victim. ADD-PATH costs one capability in the OPEN and a\n"
+      "4-byte path-id per NLRI.\n");
+  std::printf("shape check: ADD-PATH protects both, best-path only one: %s\n",
+              (protected_with == 2 && protected_without == 1) ? "YES" : "NO");
+  return 0;
+}

@@ -1,0 +1,175 @@
+// Extension (paper §6, "Combining Advanced Blackholing with other
+// solutions"): Stellar as a pre-filter for a traffic scrubbing service.
+//
+// "Attacks with known patterns can be dropped at no cost. This option frees
+//  resources for expensive deep packet inspection [...] Advanced Blackholing
+//  can drastically reduce the cost of scrubbing services without sacrificing
+//  their efficiency."
+//
+// Scenario: a two-vector attack — an NTP reflection flood (trivial L4
+// signature) plus a low-signature UDP flood towards a game-server port that
+// only DPI can separate from player traffic. Three defenses:
+//   1. TSS alone          — everything detours through the scrubbing center,
+//                           the victim pays per GB for the whole flood;
+//   2. Stellar alone      — the NTP vector dies at the IXP for free, but the
+//                           DPI-only vector reaches the victim;
+//   3. Stellar + TSS      — Stellar removes the known pattern, only the
+//                           residual is diverted: same protection as TSS
+//                           alone at a fraction of the cost.
+#include "bench_common.hpp"
+
+#include "mitigation/scrubbing.hpp"
+
+namespace {
+
+using namespace stellar;
+using namespace stellar::bench;
+
+constexpr double kBin = 10.0;
+constexpr double kDuration = 600.0;
+constexpr std::uint16_t kGamePort = 3074;
+
+bool IsAttack(const net::FlowKey& key) {
+  if (key.proto != net::IpProto::kUdp) return false;
+  // Ground truth for scoring the (imperfect) DPI classifier.
+  return key.src_port == net::kPortNtp || (key.dst_port == kGamePort && key.src_port >= 1024);
+}
+
+struct Outcome {
+  double attack_delivered_pct = 0.0;
+  double benign_delivered_pct = 0.0;
+  double scrubbing_cost = 0.0;
+  double scrubbed_gb = 0.0;
+};
+
+enum class Defense { kTssOnly, kStellarOnly, kHybrid };
+
+Outcome Run(Defense defense) {
+  sim::EventQueue queue;
+  ixp::Ixp ixp(queue);
+  ixp::MemberSpec victim_spec;
+  victim_spec.asn = 65001;
+  victim_spec.port_capacity_mbps = 2'000.0;
+  victim_spec.address_space = P4("100.10.10.0/24");
+  auto& victim = ixp.add_member(victim_spec);
+  ixp::MemberSpec src_spec;
+  src_spec.asn = 65002;
+  src_spec.port_capacity_mbps = 100'000.0;
+  src_spec.address_space = P4("60.2.0.0/20");
+  ixp.add_member(src_spec);
+  core::StellarSystem stellar(ixp);
+  ixp.settle(30.0);
+
+  const net::IPv4Address target(100, 10, 10, 10);
+  auto sources = ixp.source_members(65001);
+  util::Rng rng(66);
+
+  // Vector 1: NTP reflection, 1200 Mbps — a known L4 pattern.
+  traffic::AmplificationAttackGenerator::Config ntp_config;
+  ntp_config.target = target;
+  ntp_config.peak_mbps = 1'200.0;
+  ntp_config.start_s = 0.0;
+  ntp_config.end_s = kDuration;
+  ntp_config.ramp_s = 1.0;
+  traffic::AmplificationAttackGenerator ntp(ntp_config, sources, 67);
+
+  if (defense != Defense::kTssOnly) {
+    core::Signal signal;
+    signal.rules.push_back({core::RuleKind::kUdpSrcPort, net::kPortNtp});
+    core::SignalAdvancedBlackholing(victim, ixp.route_server(),
+                                    net::Prefix4::HostRoute(target), signal);
+    ixp.settle(10.0);
+  }
+
+  mitigation::ScrubbingService tss(mitigation::ScrubbingService::Config{});
+  Outcome out;
+  double attack_offered = 0.0;
+  double attack_delivered = 0.0;
+  double benign_offered = 0.0;
+  double benign_delivered = 0.0;
+
+  for (double t = 0.0; t < kDuration; t += kBin) {
+    queue.run_until(queue.now() + sim::Seconds(kBin));
+    std::vector<net::FlowSample> offered = ntp.bin(t, kBin);
+    // Vector 2: low-signature UDP flood on the game port (400 Mbps) mixed
+    // with genuine player traffic on the same port (200 Mbps).
+    for (int i = 0; i < 24; ++i) {
+      net::FlowSample s;
+      s.key.src_mac = sources[0].mac;
+      s.key.src_ip = traffic::RandomHostIn(sources[0].address_space, rng);
+      s.key.dst_ip = target;
+      s.key.proto = net::IpProto::kUdp;
+      const bool is_player = i < 8;
+      s.key.src_port = is_player ? 1000 : static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+      s.key.dst_port = kGamePort;
+      s.bytes = static_cast<std::uint64_t>((is_player ? 200.0 / 8 : 400.0 / 16) * 1e6 / 8.0 * kBin);
+      offered.push_back(s);
+    }
+
+    for (const auto& s : offered) {
+      (IsAttack(s.key) ? attack_offered : benign_offered) += s.mbps(kBin);
+    }
+
+    std::vector<net::FlowSample> delivered;
+    if (defense == Defense::kTssOnly) {
+      auto scrubbed = tss.scrub(offered, kBin, IsAttack);
+      out.scrubbing_cost += scrubbed.cost;
+      delivered = std::move(scrubbed.clean);
+    } else if (defense == Defense::kStellarOnly) {
+      auto report = ixp.deliver_bin(offered, kBin);
+      delivered = std::move(report.delivered);
+    } else {
+      // Hybrid: the IXP drops the known pattern, the residual detours
+      // through the scrubbing center.
+      auto report = ixp.deliver_bin(offered, kBin);
+      auto scrubbed = tss.scrub(report.delivered, kBin, IsAttack);
+      out.scrubbing_cost += scrubbed.cost;
+      delivered = std::move(scrubbed.clean);
+    }
+    for (const auto& s : delivered) {
+      double bytes_gb = 0.0;
+      (void)bytes_gb;
+      (IsAttack(s.key) ? attack_delivered : benign_delivered) += s.mbps(kBin);
+    }
+  }
+  out.attack_delivered_pct = attack_delivered / attack_offered * 100.0;
+  out.benign_delivered_pct = benign_delivered / benign_offered * 100.0;
+  out.scrubbed_gb = out.scrubbing_cost / tss.config().cost_per_gb;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Extension — Stellar as a scrubbing-service pre-filter",
+              "CoNEXT'18 Stellar paper, Section 6 (discussion)");
+  std::printf(
+      "attack: 1200 Mbps NTP reflection (L4 signature) + 400 Mbps DPI-only\n"
+      "flood on udp/%u; benign: 200 Mbps of real player traffic on the same\n"
+      "port. Scrubbing fees are per GB carried to the center.\n\n",
+      kGamePort);
+
+  util::TextTable table({"defense", "attack delivered [%]", "benign delivered [%]",
+                         "scrubbed volume [GB]", "scrubbing cost"});
+  const Outcome tss_only = Run(Defense::kTssOnly);
+  const Outcome stellar_only = Run(Defense::kStellarOnly);
+  const Outcome hybrid = Run(Defense::kHybrid);
+  auto add = [&table](const char* name, const Outcome& o) {
+    table.add_row({name, util::FormatDouble(o.attack_delivered_pct, 1),
+                   util::FormatDouble(o.benign_delivered_pct, 1),
+                   util::FormatDouble(o.scrubbed_gb, 1),
+                   util::FormatDouble(o.scrubbing_cost, 2)});
+  };
+  add("TSS only", tss_only);
+  add("Stellar only", stellar_only);
+  add("Stellar + TSS", hybrid);
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf(
+      "takeaway: the hybrid keeps TSS-grade protection (%.1f%% attack residue)\n"
+      "while cutting the scrubbed volume by %.0f%% — the known-pattern flood\n"
+      "never leaves the IXP, so it is never billed.\n",
+      hybrid.attack_delivered_pct,
+      (1.0 - hybrid.scrubbed_gb / tss_only.scrubbed_gb) * 100.0);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation: the network manager's token-bucket rate limit (paper §4.4).
+//
+// The dequeue rate trades configuration latency against control-plane CPU:
+// faster draining means less queueing for blackholing signals but more CPU
+// spent on configuration tasks — and the ER enforces a hard 15% budget.
+// This sweep shows why the paper operates at ~4.33/s (the budget boundary)
+// and evaluates 4/s and 5/s in Fig. 10(b).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+#include "core/network_manager.hpp"
+#include "filter/cpu.hpp"
+#include "util/ascii.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace stellar;
+
+class NullCompiler final : public core::ConfigCompiler {
+ public:
+  util::Result<void> apply(const core::ConfigChange&) override { return {}; }
+  [[nodiscard]] std::string_view name() const override { return "null"; }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("Ablation — configuration-change rate limit sweep\n");
+  std::printf("reproduces: design choice behind CoNEXT'18 Stellar §4.4 / Fig 10\n");
+  std::printf("==============================================================\n");
+
+  util::Rng rng(1006);  // Same trace as fig10b for comparability.
+  const auto arrivals = stellar::bench::MakeRtbhConfigChangeTrace(rng);
+  const filter::ControlPlaneCpu cpu;
+
+  util::TextTable table({"rate [1/s]", "sustained CPU at rate [%]", "within 15% budget",
+                         "P(wait<=1s) [%]", "p95 wait [s]", "max wait [s]"});
+  for (const double rate : {1.0, 2.0, 3.0, 4.0, 4.33, 5.0, 6.0, 8.0}) {
+    sim::EventQueue queue;
+    NullCompiler compiler;
+    core::NetworkManager::Config config;
+    config.rate_per_s = rate;
+    config.max_burst_size = 5.0;
+    core::NetworkManager manager(queue, compiler, config);
+    for (const double at : arrivals) {
+      queue.schedule_at(sim::Seconds(at), [&manager] {
+        core::ConfigChange change;
+        change.key = "trace";
+        manager.enqueue(std::move(change));
+      });
+    }
+    queue.run();
+    const auto& waits = manager.stats().waiting_times_s;
+    util::EmpiricalCdf cdf{std::vector<double>(waits.begin(), waits.end())};
+    const double sustained_cpu = cpu.expected_percent(rate);
+    table.add_row({util::FormatDouble(rate, 2), util::FormatDouble(sustained_cpu, 1),
+                   sustained_cpu <= 15.0 ? "yes" : "NO",
+                   util::FormatDouble(cdf.at(1.0) * 100.0, 1),
+                   util::FormatDouble(cdf.quantile(0.95), 1),
+                   util::FormatDouble(cdf.quantile(1.0), 1)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "takeaway: below ~4/s queueing delays blow up during signal bursts;\n"
+      "above ~4.33/s the ER's 15%% control-plane budget is violated. The\n"
+      "paper's operating point sits exactly at the budget boundary.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Fig. 10(c): "Active DDoS attack to assess Advanced Blackholing
+// effectiveness."
+//
+// Same booter experiment as Fig. 3(c), mitigated with Stellar instead of
+// RTBH (§5.3): the attack starts at t=100 s (~1 Gbps NTP reflection from
+// ~60 peers); 200 s into the attack the victim signals IXP:2:123 with a
+// 200 Mbps shaping action (telemetry); 200 s later it escalates to drop.
+//
+// Paper's shape: traffic drops to exactly the 200 Mbps shaping rate (peer
+// count unchanged), then to ~0 with the drop rule (peers collapse).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace stellar;
+  using namespace stellar::bench;
+
+  PrintHeader("Fig 10(c) — active DDoS attack, mitigation via Stellar",
+              "CoNEXT'18 Stellar paper, Section 5.3, Figure 10(c)");
+
+  BooterExperiment::Params params;
+  BooterExperiment exp(params);
+  core::StellarSystem stellar_system(*exp.ixp);
+  exp.ixp->settle(10.0);
+
+  const double kBin = 20.0;
+  const double kShapeAt = params.attack_start_s + 200.0;  // Paper: 200 s into attack.
+  const double kDropAt = kShapeAt + 200.0;                // Paper: 200 s later.
+  bool shaped = false;
+  bool dropped = false;
+
+  std::vector<double> ts;
+  std::vector<double> attack_mbps;
+  std::vector<double> shaped_away;
+  std::vector<double> peers;
+  double peak_attack = 0.0;
+  std::size_t peak_peers = 0;
+  double shaping_mean = 0.0;
+  int shaping_n = 0;
+  std::size_t shaping_peers = 0;
+  double drop_mean = 0.0;
+  int drop_n = 0;
+  std::size_t drop_peers = 0;
+
+  core::Signal ntp;
+  ntp.rules.push_back({core::RuleKind::kUdpSrcPort, net::kPortNtp});
+
+  for (double t = 0.0; t <= 880.0; t += kBin) {
+    if (!shaped && t >= kShapeAt) {
+      core::Signal shape = ntp;
+      shape.shape_rate_mbps = 200.0;  // Paper: 200 Mbps telemetry rate.
+      core::SignalAdvancedBlackholing(*exp.victim, exp.ixp->route_server(),
+                                      net::Prefix4::HostRoute(exp.target), shape);
+      shaped = true;
+    }
+    if (!dropped && t >= kDropAt) {
+      core::SignalAdvancedBlackholing(*exp.victim, exp.ixp->route_server(),
+                                      net::Prefix4::HostRoute(exp.target), ntp);
+      dropped = true;
+    }
+    const auto bin = exp.run_bin(t, kBin);
+    ts.push_back(t);
+    attack_mbps.push_back(bin.attack_mbps);
+    shaped_away.push_back(bin.shaped_mbps);
+    peers.push_back(static_cast<double>(bin.peers));
+    if (t < kShapeAt) {
+      peak_attack = std::max(peak_attack, bin.attack_mbps);
+      peak_peers = std::max(peak_peers, bin.peers);
+    } else if (t >= kShapeAt + 40.0 && t < kDropAt) {
+      shaping_mean += bin.attack_mbps;
+      ++shaping_n;
+      shaping_peers = bin.peers;
+    } else if (t >= kDropAt + 40.0 && t < params.attack_end_s) {
+      drop_mean += bin.attack_mbps;
+      ++drop_n;
+      drop_peers = bin.peers;
+    }
+  }
+  if (shaping_n > 0) shaping_mean /= shaping_n;
+  if (drop_n > 0) drop_mean /= drop_n;
+
+  std::printf("%s\n",
+              util::SeriesTable("t[s]", ts,
+                                {{"attack delivered [Mbps]", attack_mbps},
+                                 {"shaped away [Mbps]", shaped_away},
+                                 {"#peers", peers}},
+                                0)
+                  .c_str());
+
+  const auto telemetry = stellar_system.telemetry(kVictimAsn);
+  std::printf("summary:\n");
+  std::printf("  peak attack delivered      : %.0f Mbps from %zu peers\n", peak_attack,
+              peak_peers);
+  std::printf("  shaping phase delivered    : %.0f Mbps (paper: 200, the shaping rate)\n",
+              shaping_mean);
+  std::printf("  shaping phase peers        : %zu (paper: unchanged vs %zu)\n", shaping_peers,
+              peak_peers);
+  std::printf("  drop phase delivered       : %.1f Mbps (paper: close to zero)\n", drop_mean);
+  std::printf("  drop phase peers           : %zu (paper: collapses)\n", drop_peers);
+  for (const auto& record : telemetry) {
+    std::printf("  telemetry %-40s matched=%.0f MB dropped=%.0f MB passed=%.0f MB\n",
+                record.rule.str().c_str(),
+                static_cast<double>(record.counters.matched_bytes) / 1e6,
+                static_cast<double>(record.counters.dropped_bytes) / 1e6,
+                static_cast<double>(record.counters.delivered_bytes) / 1e6);
+  }
+  std::printf("shape check: shaping pins traffic to the rate, dropping zeroes it: %s\n",
+              (std::abs(shaping_mean - 200.0) < 40.0 && drop_mean < 0.05 * peak_attack)
+                  ? "YES (matches paper)"
+                  : "NO");
+  return 0;
+}

@@ -1,0 +1,185 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the system:
+// BGP wire codec, Flowspec NLRI codec, signal codec, RIB operations and
+// diffing, QoS classification, TCAM allocation, and fabric LPM. These bound
+// the control-plane throughput claims: the blackholing controller must parse
+// the route server's full update stream, and the data-plane model must keep
+// large experiment sweeps cheap.
+#include <benchmark/benchmark.h>
+
+#include "bgp/flowspec.hpp"
+#include "bgp/message.hpp"
+#include "bgp/rib.hpp"
+#include "core/signal.hpp"
+#include "filter/qos.hpp"
+#include "filter/tcam.hpp"
+#include "ixp/fabric.hpp"
+#include "net/ports.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace stellar;
+
+bgp::UpdateMessage MakeUpdate() {
+  bgp::UpdateMessage u;
+  u.attrs.origin = bgp::Origin::kIgp;
+  u.attrs.as_path = {{bgp::AsPathSegment::Type::kSequence, {65001, 3320, 174}}};
+  u.attrs.next_hop = net::IPv4Address(10, 99, 1, 1);
+  u.attrs.communities = {bgp::kBlackhole, bgp::Community(64500, 1)};
+  core::Signal signal;
+  signal.rules.push_back({core::RuleKind::kUdpSrcPort, net::kPortNtp});
+  signal.shape_rate_mbps = 200.0;
+  u.attrs.extended_communities = core::EncodeSignal(64500, signal);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    u.announced.push_back(
+        {0, net::Prefix4(net::IPv4Address((60u << 24) | (i << 12)), 20)});
+  }
+  return u;
+}
+
+void BM_BgpEncodeUpdate(benchmark::State& state) {
+  const bgp::UpdateMessage u = MakeUpdate();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp::Encode(u));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BgpEncodeUpdate);
+
+void BM_BgpDecodeUpdate(benchmark::State& state) {
+  const auto bytes = bgp::Encode(MakeUpdate());
+  for (auto _ : state) {
+    auto decoded = bgp::Decode(bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * bytes.size()));
+}
+BENCHMARK(BM_BgpDecodeUpdate);
+
+void BM_FlowspecRoundTrip(benchmark::State& state) {
+  bgp::flowspec::Rule rule;
+  rule.components.push_back({bgp::flowspec::ComponentType::kDstPrefix,
+                             net::Prefix4::Parse("100.10.10.10/32").value(),
+                             {}});
+  rule.components.push_back(
+      {bgp::flowspec::ComponentType::kIpProtocol, {}, {bgp::flowspec::Eq(17)}});
+  rule.components.push_back(
+      {bgp::flowspec::ComponentType::kSrcPort, {}, bgp::flowspec::Range(0, 1023)});
+  for (auto _ : state) {
+    auto encoded = bgp::flowspec::EncodeNlri(rule);
+    auto decoded = bgp::flowspec::DecodeNlri(*encoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowspecRoundTrip);
+
+void BM_SignalDecode(benchmark::State& state) {
+  core::Signal signal;
+  signal.rules.push_back({core::RuleKind::kUdpSrcPort, net::kPortNtp});
+  signal.rules.push_back({core::RuleKind::kUdpSrcPort, net::kPortDns});
+  signal.shape_rate_mbps = 200.0;
+  const auto ecs = core::EncodeSignal(64500, signal);
+  for (auto _ : state) {
+    auto decoded = core::DecodeSignal(64500, ecs);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SignalDecode);
+
+void BM_RibInsertWithdraw(benchmark::State& state) {
+  const auto routes = static_cast<std::uint32_t>(state.range(0));
+  bgp::Rib rib;
+  bgp::PathAttributes attrs;
+  attrs.origin = bgp::Origin::kIgp;
+  attrs.next_hop = net::IPv4Address(10, 99, 1, 1);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    const net::Prefix4 prefix(net::IPv4Address((60u << 24) | ((i % routes) << 8)), 24);
+    rib.insert(bgp::Route{prefix, 1, 0, attrs});
+    if (i % 2 == 1) rib.withdraw(prefix, 1, 0);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RibInsertWithdraw)->Arg(1'000)->Arg(100'000);
+
+void BM_RibSnapshotDiff(benchmark::State& state) {
+  const auto routes = static_cast<std::uint32_t>(state.range(0));
+  bgp::Rib rib;
+  bgp::PathAttributes attrs;
+  attrs.origin = bgp::Origin::kIgp;
+  attrs.next_hop = net::IPv4Address(10, 99, 1, 1);
+  for (std::uint32_t i = 0; i < routes; ++i) {
+    rib.insert(bgp::Route{net::Prefix4(net::IPv4Address((60u << 24) | (i << 8)), 24), 1, 0,
+                          attrs});
+  }
+  const auto before = rib.snapshot();
+  rib.withdraw(net::Prefix4(net::IPv4Address(60, 0, 1, 0), 24), 1, 0);
+  const auto after = rib.snapshot();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp::DiffSnapshots(before, after));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * routes));
+}
+BENCHMARK(BM_RibSnapshotDiff)->Arg(1'000)->Arg(10'000);
+
+void BM_QosClassify(benchmark::State& state) {
+  filter::QosPolicy policy;
+  for (std::uint64_t r = 0; r < static_cast<std::uint64_t>(state.range(0)); ++r) {
+    filter::FilterRule rule;
+    rule.match.proto = net::IpProto::kUdp;
+    rule.match.src_port = filter::PortRange::Single(static_cast<std::uint16_t>(r + 1));
+    rule.action = filter::FilterAction::kDrop;
+    policy.add_rule(r + 1, rule);
+  }
+  net::FlowKey flow;
+  flow.proto = net::IpProto::kUdp;
+  flow.src_port = 65'000;  // Worst case: matches nothing.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.classify(flow));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QosClassify)->Arg(8)->Arg(64);
+
+void BM_TcamAllocateRelease(benchmark::State& state) {
+  filter::Tcam tcam({.l3l4_criteria_pool = 1'000'000, .mac_filter_pool = 1'000'000});
+  filter::MatchCriteria match;
+  match.dst_prefix = net::Prefix4::Parse("100.10.10.10/32").value();
+  match.proto = net::IpProto::kUdp;
+  match.src_port = filter::PortRange::Single(123);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tcam.allocate(1, match));
+    tcam.release(1, match);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TcamAllocateRelease);
+
+void BM_FabricLpm(benchmark::State& state) {
+  filter::EdgeRouter er("er1", filter::TcamLimits{});
+  ixp::Fabric fabric(er);
+  const auto owners = static_cast<std::uint32_t>(state.range(0));
+  for (std::uint32_t i = 0; i < owners; ++i) {
+    er.add_port(i + 1, 10'000.0);
+    fabric.register_owner(net::Prefix4(net::IPv4Address((60u << 24) | (i << 12)), 20), i + 1);
+  }
+  util::Rng rng(1);
+  std::vector<net::IPv4Address> lookups;
+  for (int i = 0; i < 1024; ++i) {
+    lookups.push_back(net::IPv4Address(
+        (60u << 24) | (static_cast<std::uint32_t>(rng.uniform_int(0, owners - 1)) << 12) | 5u));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    filter::PortId port = 0;
+    benchmark::DoNotOptimize(fabric.lookup_egress(lookups[i++ % lookups.size()], port));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FabricLpm)->Arg(100)->Arg(800);
+
+}  // namespace

@@ -1,0 +1,33 @@
+// Table 1: "Advanced Blackholing vs. DDoS mitigation solutions."
+//
+// The paper scores TSS / ACL / RTBH / Flowspec / Advanced Blackholing
+// qualitatively across ten dimensions. This harness *measures* the scores:
+// the same 1 Gbps NTP amplification attack against a 1 Gbps-port member is
+// run under every technique, and the table's marks are derived from the
+// measured attack suppression, collateral damage, reaction time and cost
+// alongside the techniques' structural properties.
+//
+// Expected shape (paper Table 1): only Advanced Blackholing combines
+// granularity, simple signaling, no cooperation, no resource sharing,
+// telemetry, scalability and low cost.
+#include <cstdio>
+
+#include "mitigation/comparison.hpp"
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("Table 1 — Advanced Blackholing vs. DDoS mitigation solutions\n");
+  std::printf("reproduces: CoNEXT'18 Stellar paper, Table 1 (Section 1.1)\n");
+  std::printf("==============================================================\n");
+  std::printf(
+      "scenario: 1 Gbps NTP amplification vs member with 1 Gbps port,\n"
+      "          400 Mbps benign web traffic, mitigation triggered mid-attack\n\n");
+
+  stellar::mitigation::ComparisonConfig config;
+  const auto rows = stellar::mitigation::RunComparison(config);
+  std::printf("%s\n", stellar::mitigation::RenderComparisonTable(rows).c_str());
+  std::printf(
+      "legend: y = advantage, n = disadvantage, . = neutral (paper uses "
+      "check/cross/dot)\n");
+  return 0;
+}

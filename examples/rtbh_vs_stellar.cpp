@@ -1,0 +1,91 @@
+// RTBH vs Stellar, head to head — the paper's §2.4 and §5.3 experiments on
+// the same synthetic L-IXP with realistic (30%) RTBH compliance. Prints the
+// two time series side by side: classic blackholing barely dents the attack
+// (most members never honor the /32), Stellar erases it.
+#include <cstdio>
+
+#include "core/stellar.hpp"
+#include "mitigation/rtbh.hpp"
+#include "net/ports.hpp"
+#include "traffic/generators.hpp"
+
+using namespace stellar;
+
+namespace {
+
+struct Run {
+  sim::EventQueue clock;
+  std::unique_ptr<ixp::Ixp> exchange;
+  ixp::MemberRouter* victim = nullptr;
+  std::unique_ptr<core::StellarSystem> stellar;
+  std::unique_ptr<traffic::AmplificationAttackGenerator> attack;
+  net::IPv4Address target{net::IPv4Address(100, 10, 10, 10)};
+
+  explicit Run(bool with_stellar) {
+    ixp::LargeIxpParams params;
+    params.member_count = 200;
+    params.rtbh_honor_fraction = 0.30;  // Paper §2.4: ~70% do not honor.
+    params.seed = 21;
+    exchange = ixp::MakeLargeIxp(clock, params);
+    ixp::MemberSpec spec;
+    spec.asn = 63'000;
+    spec.port_capacity_mbps = 10'000.0;
+    spec.address_space = net::Prefix4::Parse("100.10.10.0/24").value();
+    victim = &exchange->add_member(spec);
+    if (with_stellar) stellar = std::make_unique<core::StellarSystem>(*exchange);
+    exchange->settle(60.0);
+    attack = std::make_unique<traffic::AmplificationAttackGenerator>(
+        traffic::BooterNtpAttack(target, 1000.0, 30.0, 600.0),
+        exchange->source_members(63'000), 22);
+  }
+
+  void mitigate() {
+    if (stellar) {
+      core::Signal signal;
+      signal.rules.push_back({core::RuleKind::kUdpSrcPort, net::kPortNtp});
+      core::SignalAdvancedBlackholing(*victim, exchange->route_server(),
+                                      net::Prefix4::HostRoute(target), signal);
+    } else {
+      mitigation::TriggerRtbh(*victim, net::Prefix4::HostRoute(target));
+    }
+    exchange->settle(10.0);
+  }
+
+  double attack_mbps(double t) {
+    clock.run_until(sim::Seconds(clock.now().count() + 30.0));
+    const auto report = exchange->deliver_bin(attack->bin(t, 30.0), 30.0);
+    double out = 0.0;
+    for (const auto& f : report.delivered) out += f.mbps(30.0);
+    return out;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Run rtbh(/*with_stellar=*/false);
+  Run stellar_run(/*with_stellar=*/true);
+
+  std::printf("booter NTP attack, ~1 Gbps, against the same IXP (30%% RTBH compliance)\n");
+  std::printf("mitigation triggered at t=120 s\n\n");
+  std::printf("t[s]   RTBH delivered[Mbps]   Stellar delivered[Mbps]\n");
+
+  bool triggered = false;
+  for (double t = 0.0; t <= 420.0; t += 30.0) {
+    if (!triggered && t >= 120.0) {
+      rtbh.mitigate();
+      stellar_run.mitigate();
+      triggered = true;
+    }
+    std::printf("%4.0f   %20.0f   %23.0f\n", t, rtbh.attack_mbps(t),
+                stellar_run.attack_mbps(t));
+  }
+
+  const auto compliance = mitigation::MeasureCompliance(
+      *rtbh.exchange, net::Prefix4::HostRoute(rtbh.target), 63'000);
+  std::printf("\nRTBH compliance: %zu of %zu members honored the /32 (%.0f%%)\n",
+              compliance.honoring, compliance.total,
+              compliance.honored_fraction() * 100.0);
+  std::printf("Stellar needed nobody's cooperation: one signal to the IXP.\n");
+  return 0;
+}

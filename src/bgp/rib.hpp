@@ -1,0 +1,250 @@
+// Routing Information Base with ADD-PATH identity and snapshot diffing.
+//
+// A route is identified by (prefix, peer, path_id): the route server keeps an
+// Adj-RIB-In per peer, while the blackholing controller keeps a single Rib
+// over its ADD-PATH iBGP session where multiple paths for the same prefix
+// coexist. Snapshot diffing is the controller's engine: each diff between two
+// RIB states is exactly the set of abstract configuration changes the network
+// manager must realize (paper §4.4).
+//
+// The containers are generic over the prefix type: Rib/Route operate on IPv4
+// (the paper's dominant case, >98% of blackholed prefixes), Rib6/Route6 on
+// IPv6 unicast carried in MP_REACH/MP_UNREACH.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bgp/message.hpp"
+
+namespace stellar::bgp {
+
+/// Identifies the peer a route was learned from (session index assigned by
+/// the owner of the Rib).
+using PeerId = std::uint32_t;
+
+template <typename PrefixT>
+struct BasicRoute {
+  PrefixT prefix;
+  PeerId peer = 0;
+  PathId path_id = 0;
+  PathAttributes attrs;
+
+  friend bool operator==(const BasicRoute&, const BasicRoute&) = default;
+
+  [[nodiscard]] std::string str() const {
+    std::string s = prefix.str() + " peer=" + std::to_string(peer);
+    if (path_id != 0) s += " path-id=" + std::to_string(path_id);
+    if (auto o = attrs.origin_asn()) s += " origin-as=" + std::to_string(*o);
+    return s;
+  }
+};
+
+using Route = BasicRoute<net::Prefix4>;
+using Route6 = BasicRoute<net::Prefix6>;
+
+/// RFC 4271 §9.1 decision process (the subset meaningful at an IXP route
+/// server): local-pref desc, as-path length asc, origin asc, MED asc,
+/// peer/path-id as deterministic tie-breakers. Returns true if `a` is
+/// preferred over `b`.
+template <typename PrefixT>
+[[nodiscard]] bool BetterPath(const BasicRoute<PrefixT>& a, const BasicRoute<PrefixT>& b) {
+  const std::uint32_t lp_a = a.attrs.local_pref.value_or(100);
+  const std::uint32_t lp_b = b.attrs.local_pref.value_or(100);
+  if (lp_a != lp_b) return lp_a > lp_b;
+  const std::size_t len_a = a.attrs.as_path_length();
+  const std::size_t len_b = b.attrs.as_path_length();
+  if (len_a != len_b) return len_a < len_b;
+  const auto origin_a = static_cast<std::uint8_t>(a.attrs.origin.value_or(Origin::kIncomplete));
+  const auto origin_b = static_cast<std::uint8_t>(b.attrs.origin.value_or(Origin::kIncomplete));
+  if (origin_a != origin_b) return origin_a < origin_b;
+  const std::uint32_t med_a = a.attrs.med.value_or(0);
+  const std::uint32_t med_b = b.attrs.med.value_or(0);
+  if (med_a != med_b) return med_a < med_b;
+  if (a.peer != b.peer) return a.peer < b.peer;
+  return a.path_id < b.path_id;
+}
+
+template <typename PrefixT>
+class BasicRib {
+ public:
+  using RouteT = BasicRoute<PrefixT>;
+
+  /// Inserts or replaces the route identified by (prefix, peer, path_id).
+  /// Returns true if the RIB changed (new route or different attributes).
+  bool insert(RouteT route) {
+    const Key key{route.prefix, route.peer, route.path_id};
+    auto [it, inserted] = routes_.try_emplace(key, route.attrs);
+    if (inserted) return true;
+    if (it->second == route.attrs) return false;
+    it->second = std::move(route.attrs);
+    return true;
+  }
+
+  /// Removes the identified route. Returns true if it existed.
+  bool withdraw(const PrefixT& prefix, PeerId peer, PathId path_id = 0) {
+    return routes_.erase(Key{prefix, peer, path_id}) > 0;
+  }
+
+  /// Removes all routes from `peer` (session teardown). Returns count removed.
+  std::size_t withdraw_peer(PeerId peer) {
+    std::size_t removed = 0;
+    for (auto it = routes_.begin(); it != routes_.end();) {
+      if (it->first.peer == peer) {
+        it = routes_.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+
+  /// Applies an UPDATE received from `peer`. For the IPv4 instantiation this
+  /// reads the classic NLRI fields; for IPv6 the MP_REACH/MP_UNREACH
+  /// attributes. Returns the number of changes applied.
+  std::size_t apply_update(PeerId peer, const UpdateMessage& update) {
+    std::size_t changes = 0;
+    if constexpr (std::is_same_v<PrefixT, net::Prefix4>) {
+      for (const auto& nlri : update.withdrawn) {
+        if (withdraw(nlri.prefix, peer, nlri.path_id)) ++changes;
+      }
+      for (const auto& nlri : update.announced) {
+        RouteT r;
+        r.prefix = nlri.prefix;
+        r.peer = peer;
+        r.path_id = nlri.path_id;
+        r.attrs = update.attrs;
+        if (insert(std::move(r))) ++changes;
+      }
+    } else {
+      if (update.attrs.mp_unreach_ipv6) {
+        for (const auto& prefix : update.attrs.mp_unreach_ipv6->withdrawn) {
+          if (withdraw(prefix, peer, 0)) ++changes;
+        }
+      }
+      if (update.attrs.mp_reach_ipv6) {
+        for (const auto& prefix : update.attrs.mp_reach_ipv6->nlri) {
+          RouteT r;
+          r.prefix = prefix;
+          r.peer = peer;
+          r.path_id = 0;
+          r.attrs = update.attrs;
+          if (insert(std::move(r))) ++changes;
+        }
+      }
+    }
+    return changes;
+  }
+
+  /// All paths currently held for a prefix.
+  [[nodiscard]] std::vector<RouteT> routes_for(const PrefixT& prefix) const {
+    std::vector<RouteT> out;
+    for (auto it = routes_.lower_bound(Key{prefix, 0, 0});
+         it != routes_.end() && it->first.prefix == prefix; ++it) {
+      out.push_back(RouteT{it->first.prefix, it->first.peer, it->first.path_id, it->second});
+    }
+    return out;
+  }
+
+  /// Best path for the prefix per BetterPath, if any path exists.
+  [[nodiscard]] std::optional<RouteT> best(const PrefixT& prefix) const {
+    std::optional<RouteT> best_route;
+    for (const auto& r : routes_for(prefix)) {
+      if (!best_route || BetterPath(r, *best_route)) best_route = r;
+    }
+    return best_route;
+  }
+
+  /// All distinct prefixes.
+  [[nodiscard]] std::vector<PrefixT> prefixes() const {
+    std::vector<PrefixT> out;
+    for (const auto& [key, attrs] : routes_) {
+      if (out.empty() || !(out.back() == key.prefix)) out.push_back(key.prefix);
+    }
+    return out;
+  }
+
+  /// Every route, sorted by (prefix, peer, path_id). This is the snapshot
+  /// representation used for diffing.
+  [[nodiscard]] std::vector<RouteT> snapshot() const {
+    std::vector<RouteT> out;
+    out.reserve(routes_.size());
+    for (const auto& [key, attrs] : routes_) {
+      out.push_back(RouteT{key.prefix, key.peer, key.path_id, attrs});
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const { return routes_.size(); }
+  [[nodiscard]] bool empty() const { return routes_.empty(); }
+  void clear() { routes_.clear(); }
+
+  /// Visits every route (sorted order).
+  void for_each(const std::function<void(const RouteT&)>& fn) const {
+    for (const auto& [key, attrs] : routes_) {
+      fn(RouteT{key.prefix, key.peer, key.path_id, attrs});
+    }
+  }
+
+ private:
+  struct Key {
+    PrefixT prefix;
+    PeerId peer;
+    PathId path_id;
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+  std::map<Key, PathAttributes> routes_;
+};
+
+using Rib = BasicRib<net::Prefix4>;
+using Rib6 = BasicRib<net::Prefix6>;
+
+/// Difference between two RIB snapshots.
+template <typename PrefixT>
+struct BasicRibDiff {
+  std::vector<BasicRoute<PrefixT>> added;     ///< In `after` only.
+  std::vector<BasicRoute<PrefixT>> removed;   ///< In `before` only.
+  std::vector<BasicRoute<PrefixT>> modified;  ///< Same identity, new attributes.
+
+  [[nodiscard]] bool empty() const { return added.empty() && removed.empty() && modified.empty(); }
+  [[nodiscard]] std::size_t size() const { return added.size() + removed.size() + modified.size(); }
+};
+
+using RibDiff = BasicRibDiff<net::Prefix4>;
+
+/// Computes the diff between two snapshots (each sorted as produced by
+/// BasicRib::snapshot()).
+template <typename PrefixT>
+[[nodiscard]] BasicRibDiff<PrefixT> DiffSnapshots(const std::vector<BasicRoute<PrefixT>>& before,
+                                                  const std::vector<BasicRoute<PrefixT>>& after) {
+  BasicRibDiff<PrefixT> diff;
+  auto identity_less = [](const BasicRoute<PrefixT>& a, const BasicRoute<PrefixT>& b) {
+    return std::tie(a.prefix, a.peer, a.path_id) < std::tie(b.prefix, b.peer, b.path_id);
+  };
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < before.size() || j < after.size()) {
+    if (i == before.size()) {
+      diff.added.push_back(after[j++]);
+    } else if (j == after.size()) {
+      diff.removed.push_back(before[i++]);
+    } else if (identity_less(before[i], after[j])) {
+      diff.removed.push_back(before[i++]);
+    } else if (identity_less(after[j], before[i])) {
+      diff.added.push_back(after[j++]);
+    } else {
+      if (!(before[i].attrs == after[j].attrs)) diff.modified.push_back(after[j]);
+      ++i;
+      ++j;
+    }
+  }
+  return diff;
+}
+
+}  // namespace stellar::bgp

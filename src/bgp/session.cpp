@@ -1,0 +1,270 @@
+#include "bgp/session.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stellar::bgp {
+
+// ---------------------------------------------------------------------------
+// Endpoint / Link.
+
+void Endpoint::send(std::vector<std::uint8_t> bytes) {
+  if (closed_) return;
+  auto peer = peer_.lock();
+  if (!peer) return;
+  queue_->schedule_after(latency_, [peer, data = std::move(bytes)] {
+    if (!peer->closed_ && peer->on_receive_) peer->on_receive_(data);
+  });
+}
+
+void Endpoint::close() {
+  if (closed_) return;
+  closed_ = true;
+  if (auto peer = peer_.lock()) {
+    queue_->schedule_after(latency_, [peer] {
+      if (peer->closed_) return;
+      peer->closed_ = true;
+      if (peer->on_close_) peer->on_close_();
+    });
+  }
+}
+
+std::pair<std::shared_ptr<Endpoint>, std::shared_ptr<Endpoint>> MakeLink(sim::EventQueue& queue,
+                                                                         sim::Duration latency) {
+  auto a = std::make_shared<Endpoint>();
+  auto b = std::make_shared<Endpoint>();
+  a->queue_ = &queue;
+  b->queue_ = &queue;
+  a->latency_ = latency;
+  b->latency_ = latency;
+  a->peer_ = b;
+  b->peer_ = a;
+  return {a, b};
+}
+
+// ---------------------------------------------------------------------------
+// Session.
+
+std::string_view ToString(SessionState s) {
+  switch (s) {
+    case SessionState::kIdle: return "Idle";
+    case SessionState::kOpenSent: return "OpenSent";
+    case SessionState::kOpenConfirm: return "OpenConfirm";
+    case SessionState::kEstablished: return "Established";
+    case SessionState::kClosed: return "Closed";
+  }
+  return "?";
+}
+
+Session::Session(sim::EventQueue& queue, std::shared_ptr<Endpoint> transport,
+                 SessionConfig config)
+    : queue_(queue), transport_(std::move(transport)), config_(config) {
+  transport_->set_receive_handler([this](std::span<const std::uint8_t> b) { on_bytes(b); });
+  transport_->set_close_handler([this] { on_transport_closed(); });
+}
+
+Session::~Session() {
+  *alive_ = false;
+  // Detach transport callbacks: the endpoint may outlive us inside queued
+  // link-latency events.
+  transport_->set_receive_handler(nullptr);
+  transport_->set_close_handler(nullptr);
+}
+
+void Session::start() {
+  if (state_ != SessionState::kIdle) return;
+  OpenMessage open;
+  open.my_asn = config_.local_asn;
+  open.hold_time_s = config_.hold_time_s;
+  open.bgp_identifier = config_.router_id;
+  open.add_four_octet_as_capability();
+  open.capabilities.push_back(Capability{Capability::kRouteRefresh, {}});
+  open.add_multiprotocol_capability(kAfiIPv4, kSafiUnicast);
+  if (config_.announce_ipv6_unicast) open.add_multiprotocol_capability(kAfiIPv6, kSafiUnicast);
+  if (config_.add_path_rx || config_.add_path_tx) {
+    const std::uint8_t mode = static_cast<std::uint8_t>((config_.add_path_rx ? 1 : 0) |
+                                                        (config_.add_path_tx ? 2 : 0));
+    const AddPathTuple tuple{kAfiIPv4, kSafiUnicast, mode};
+    open.add_add_path_capability({&tuple, 1});
+  }
+  // OPEN itself is negotiation-independent: encode with defaults.
+  send(open, CodecOptions{});
+  set_state(SessionState::kOpenSent);
+}
+
+void Session::announce(UpdateMessage update) {
+  if (state_ == SessionState::kClosed) return;
+  if (state_ != SessionState::kEstablished) {
+    pending_.push_back(std::move(update));
+    return;
+  }
+  ++updates_sent_;
+  send(update, tx_codec_);
+  arm_keepalive_timer();  // Any message defers the next keepalive.
+}
+
+void Session::request_route_refresh(std::uint16_t afi, std::uint8_t safi) {
+  // RFC 2918 §4: only send towards peers that advertised the capability.
+  if (state_ != SessionState::kEstablished || !peer_supports_route_refresh_) return;
+  send(RouteRefreshMessage{afi, safi}, tx_codec_);
+  arm_keepalive_timer();
+}
+
+void Session::stop(std::uint8_t cease_subcode) {
+  if (state_ == SessionState::kClosed) return;
+  NotificationMessage n;
+  n.code = NotificationCode::kCease;
+  n.subcode = cease_subcode;
+  send(n, tx_codec_);
+  transport_->close();
+  set_state(SessionState::kClosed);
+}
+
+void Session::on_bytes(std::span<const std::uint8_t> bytes) {
+  rx_buffer_.insert(rx_buffer_.end(), bytes.begin(), bytes.end());
+  while (true) {
+    auto framed = DecodeFramed(rx_buffer_, rx_codec_);
+    if (!framed.ok()) {
+      fail(NotificationCode::kMessageHeaderError, 0, framed.error().message);
+      return;
+    }
+    if (!framed->message) return;  // Incomplete: wait for more bytes.
+    rx_buffer_.erase(rx_buffer_.begin(),
+                     rx_buffer_.begin() + static_cast<std::ptrdiff_t>(framed->consumed));
+    arm_hold_timer();
+    handle_message(std::move(*framed->message));
+    if (state_ == SessionState::kClosed) return;
+  }
+}
+
+void Session::on_transport_closed() {
+  set_state(SessionState::kClosed);
+}
+
+void Session::handle_message(Message msg) {
+  switch (TypeOf(msg)) {
+    case MessageType::kOpen:
+      handle_open(std::move(std::get<OpenMessage>(msg)));
+      break;
+    case MessageType::kKeepalive:
+      ++keepalives_received_;
+      if (state_ == SessionState::kOpenConfirm) enter_established();
+      break;
+    case MessageType::kUpdate:
+      if (state_ != SessionState::kEstablished) {
+        fail(NotificationCode::kFsmError, 0, "UPDATE outside Established");
+        return;
+      }
+      ++updates_received_;
+      if (on_update_) on_update_(std::get<UpdateMessage>(msg));
+      break;
+    case MessageType::kNotification:
+      transport_->close();
+      set_state(SessionState::kClosed);
+      break;
+    case MessageType::kRouteRefresh:
+      if (state_ != SessionState::kEstablished) {
+        fail(NotificationCode::kFsmError, 0, "ROUTE-REFRESH outside Established");
+        return;
+      }
+      if (on_refresh_) on_refresh_(std::get<RouteRefreshMessage>(msg));
+      break;
+  }
+}
+
+void Session::handle_open(OpenMessage open) {
+  if (state_ != SessionState::kOpenSent) {
+    fail(NotificationCode::kFsmError, 0, "OPEN in state " + std::string(ToString(state_)));
+    return;
+  }
+  if (open.version != 4) {
+    fail(NotificationCode::kOpenMessageError, 1, "unsupported BGP version");
+    return;
+  }
+  if (open.hold_time_s != 0 && open.hold_time_s < 3) {
+    fail(NotificationCode::kOpenMessageError, 6, "unacceptable hold time");
+    return;
+  }
+  peer_asn_ = open.effective_asn();
+  hold_time_s_ = std::min(config_.hold_time_s, open.hold_time_s);
+  for (const auto& cap : open.capabilities) {
+    if (cap.code == Capability::kRouteRefresh) peer_supports_route_refresh_ = true;
+  }
+
+  // ADD-PATH negotiation (RFC 7911 §5): we may receive path-ids iff we said
+  // "receive" and the peer said "send"; symmetrically for sending.
+  bool peer_tx = false;
+  bool peer_rx = false;
+  for (const auto& t : open.add_path_tuples()) {
+    if (t.afi == kAfiIPv4 && t.safi == kSafiUnicast) {
+      peer_rx = (t.send_receive & 1) != 0;
+      peer_tx = (t.send_receive & 2) != 0;
+    }
+  }
+  rx_codec_.add_path_ipv4_unicast = config_.add_path_rx && peer_tx;
+  tx_codec_.add_path_ipv4_unicast = config_.add_path_tx && peer_rx;
+  rx_codec_.four_octet_as = open.four_octet_asn().has_value();
+  tx_codec_.four_octet_as = rx_codec_.four_octet_as;
+
+  send(KeepaliveMessage{}, tx_codec_);
+  set_state(SessionState::kOpenConfirm);
+}
+
+void Session::enter_established() {
+  set_state(SessionState::kEstablished);
+  arm_keepalive_timer();
+  arm_hold_timer();
+  while (!pending_.empty() && state_ == SessionState::kEstablished) {
+    UpdateMessage u = std::move(pending_.front());
+    pending_.pop_front();
+    ++updates_sent_;
+    send(u, tx_codec_);
+  }
+}
+
+void Session::send(const Message& msg, const CodecOptions& codec) {
+  transport_->send(Encode(msg, codec));
+}
+
+void Session::fail(NotificationCode code, std::uint8_t subcode, const std::string& why) {
+  (void)why;  // Kept for debuggability via a breakpoint; not logged by default.
+  NotificationMessage n;
+  n.code = code;
+  n.subcode = subcode;
+  send(n, tx_codec_);
+  transport_->close();
+  set_state(SessionState::kClosed);
+}
+
+void Session::set_state(SessionState s) {
+  if (state_ == s) return;
+  state_ = s;
+  if (s == SessionState::kClosed) {
+    ++hold_generation_;
+    ++keepalive_generation_;
+  }
+  if (on_state_) on_state_(s);
+}
+
+void Session::arm_hold_timer() {
+  if (hold_time_s_ == 0 && state_ != SessionState::kEstablished) return;
+  if (hold_time_s_ == 0) return;
+  const std::uint64_t gen = ++hold_generation_;
+  queue_.schedule_after(sim::Seconds(hold_time_s_), [this, gen, alive = alive_] {
+    if (!*alive || gen != hold_generation_ || state_ != SessionState::kEstablished) return;
+    fail(NotificationCode::kHoldTimerExpired, 0, "hold timer expired");
+  });
+}
+
+void Session::arm_keepalive_timer() {
+  if (hold_time_s_ == 0) return;
+  const std::uint64_t gen = ++keepalive_generation_;
+  const double interval = hold_time_s_ / 3.0;
+  queue_.schedule_after(sim::Seconds(interval), [this, gen, alive = alive_] {
+    if (!*alive || gen != keepalive_generation_ || state_ != SessionState::kEstablished) return;
+    send(KeepaliveMessage{}, tx_codec_);
+    arm_keepalive_timer();
+  });
+}
+
+}  // namespace stellar::bgp

@@ -1,0 +1,167 @@
+// BGP session: finite state machine (RFC 4271 §8, reduced to the states an
+// always-connected in-memory transport can reach), capability negotiation,
+// keepalive/hold timers on the simulation clock, and stream reassembly of the
+// wire format.
+//
+// The transport is a pair of in-memory endpoints joined by a Link with a
+// configurable one-way latency — the moral equivalent of a TCP connection
+// across the IXP peering LAN. Sessions never see each other directly; they
+// only exchange encoded bytes, so everything above the transport exercises
+// the real codec.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/message.hpp"
+#include "sim/event_queue.hpp"
+
+namespace stellar::bgp {
+
+/// One side of an in-memory duplex byte pipe.
+class Endpoint {
+ public:
+  using ReceiveHandler = std::function<void(std::span<const std::uint8_t>)>;
+  using CloseHandler = std::function<void()>;
+
+  /// Sends bytes to the peer endpoint; they arrive after the link latency.
+  void send(std::vector<std::uint8_t> bytes);
+  /// Closes both directions; the peer's close handler fires after latency.
+  void close();
+  [[nodiscard]] bool closed() const { return closed_; }
+
+  void set_receive_handler(ReceiveHandler h) { on_receive_ = std::move(h); }
+  void set_close_handler(CloseHandler h) { on_close_ = std::move(h); }
+
+ private:
+  friend std::pair<std::shared_ptr<Endpoint>, std::shared_ptr<Endpoint>> MakeLink(
+      sim::EventQueue& queue, sim::Duration latency);
+
+  sim::EventQueue* queue_ = nullptr;
+  sim::Duration latency_{0.0};
+  std::weak_ptr<Endpoint> peer_;
+  ReceiveHandler on_receive_;
+  CloseHandler on_close_;
+  bool closed_ = false;
+};
+
+/// Creates a connected endpoint pair with the given one-way latency.
+std::pair<std::shared_ptr<Endpoint>, std::shared_ptr<Endpoint>> MakeLink(
+    sim::EventQueue& queue, sim::Duration latency = sim::Millis(1.0));
+
+enum class SessionState : std::uint8_t {
+  kIdle,
+  kOpenSent,
+  kOpenConfirm,
+  kEstablished,
+  kClosed,
+};
+
+[[nodiscard]] std::string_view ToString(SessionState s);
+
+struct SessionConfig {
+  Asn local_asn = 0;
+  net::IPv4Address router_id;
+  std::uint16_t hold_time_s = 90;  ///< 0 disables keepalive/hold timers.
+  bool add_path_rx = false;        ///< Willing to receive ADD-PATH NLRI (IPv4 unicast).
+  bool add_path_tx = false;        ///< Willing to send ADD-PATH NLRI.
+  bool announce_ipv6_unicast = false;
+};
+
+/// A point-to-point BGP session over an Endpoint.
+class Session {
+ public:
+  using UpdateHandler = std::function<void(const UpdateMessage&)>;
+  using StateHandler = std::function<void(SessionState)>;
+  using RefreshHandler = std::function<void(const RouteRefreshMessage&)>;
+
+  Session(sim::EventQueue& queue, std::shared_ptr<Endpoint> transport, SessionConfig config);
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Kicks the FSM: sends OPEN and moves Idle -> OpenSent.
+  void start();
+
+  /// Queues an UPDATE. Sent immediately when Established, otherwise buffered
+  /// and flushed on establishment (mirrors initial RIB synchronization).
+  void announce(UpdateMessage update);
+
+  /// Sends NOTIFICATION(Cease) and closes the transport.
+  void stop(std::uint8_t cease_subcode = 0);
+
+  /// Sends a ROUTE-REFRESH (RFC 2918) asking the peer to re-advertise its
+  /// Adj-RIB-Out for the AFI/SAFI. Only meaningful once Established.
+  void request_route_refresh(std::uint16_t afi = kAfiIPv4,
+                             std::uint8_t safi = kSafiUnicast);
+
+  [[nodiscard]] SessionState state() const { return state_; }
+  [[nodiscard]] bool established() const { return state_ == SessionState::kEstablished; }
+  [[nodiscard]] Asn local_asn() const { return config_.local_asn; }
+  /// Peer ASN; valid once >= OpenConfirm.
+  [[nodiscard]] Asn peer_asn() const { return peer_asn_; }
+  [[nodiscard]] bool is_ibgp() const { return peer_asn_ == config_.local_asn; }
+  /// Negotiated hold time (min of both OPENs); valid once Established.
+  [[nodiscard]] std::uint16_t negotiated_hold_time_s() const { return hold_time_s_; }
+  /// True if the peer will include path-ids in NLRI it sends to us.
+  [[nodiscard]] bool add_path_rx_negotiated() const { return rx_codec_.add_path_ipv4_unicast; }
+  [[nodiscard]] bool add_path_tx_negotiated() const { return tx_codec_.add_path_ipv4_unicast; }
+  /// True once the peer's OPEN advertised the route-refresh capability.
+  [[nodiscard]] bool peer_supports_route_refresh() const {
+    return peer_supports_route_refresh_;
+  }
+
+  void set_update_handler(UpdateHandler h) { on_update_ = std::move(h); }
+  void set_state_handler(StateHandler h) { on_state_ = std::move(h); }
+  void set_refresh_handler(RefreshHandler h) { on_refresh_ = std::move(h); }
+
+  // Introspection counters (looking-glass / tests).
+  [[nodiscard]] std::uint64_t updates_sent() const { return updates_sent_; }
+  [[nodiscard]] std::uint64_t updates_received() const { return updates_received_; }
+  [[nodiscard]] std::uint64_t keepalives_received() const { return keepalives_received_; }
+
+ private:
+  void on_bytes(std::span<const std::uint8_t> bytes);
+  void on_transport_closed();
+  void handle_message(Message msg);
+  void handle_open(OpenMessage open);
+  void enter_established();
+  void send(const Message& msg, const CodecOptions& codec);
+  void fail(NotificationCode code, std::uint8_t subcode, const std::string& why);
+  void set_state(SessionState s);
+  void arm_hold_timer();
+  void arm_keepalive_timer();
+
+  sim::EventQueue& queue_;
+  std::shared_ptr<Endpoint> transport_;
+  SessionConfig config_;
+
+  SessionState state_ = SessionState::kIdle;
+  Asn peer_asn_ = 0;
+  std::uint16_t hold_time_s_ = 0;
+  bool peer_supports_route_refresh_ = false;
+  CodecOptions rx_codec_;  ///< How we decode what the peer sends.
+  CodecOptions tx_codec_;  ///< How we encode what we send.
+
+  std::vector<std::uint8_t> rx_buffer_;
+  std::deque<UpdateMessage> pending_;
+  UpdateHandler on_update_;
+  StateHandler on_state_;
+  RefreshHandler on_refresh_;
+
+  // Timer generation counters: bumping invalidates armed timers.
+  std::uint64_t hold_generation_ = 0;
+  std::uint64_t keepalive_generation_ = 0;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+  std::uint64_t updates_sent_ = 0;
+  std::uint64_t updates_received_ = 0;
+  std::uint64_t keepalives_received_ = 0;
+};
+
+}  // namespace stellar::bgp

@@ -1,0 +1,194 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+
+namespace stellar::core {
+
+std::string ConfigChange::str() const {
+  return std::string(op == Op::kInstall ? "install" : "remove") + " port " +
+         std::to_string(port) + " " + rule.str();
+}
+
+BlackholingController::BlackholingController(sim::EventQueue& queue,
+                                             std::shared_ptr<bgp::Endpoint> transport,
+                                             Config config, PortDirectory directory,
+                                             const RulePortal* portal)
+    : queue_(queue),
+      config_(config),
+      directory_(std::move(directory)),
+      portal_(portal) {
+  bgp::SessionConfig session_config;
+  session_config.local_asn = config_.ixp_asn;  // iBGP with the route server.
+  session_config.router_id = net::IPv4Address(10, 99, 0, 2);
+  session_config.add_path_rx = config_.use_add_path;  // See all paths, bypass best-path.
+  session_ = std::make_unique<bgp::Session>(queue_, std::move(transport), session_config);
+  session_->set_update_handler([this](const bgp::UpdateMessage& u) { on_update(u); });
+  // Fail-safe (paper §4.1.2): if the signaling path dies, fall back to
+  // simple forwarding of all traffic — stale filters must not strand a
+  // member once it can no longer withdraw them.
+  session_->set_state_handler([this](bgp::SessionState state) {
+    if (state != bgp::SessionState::kClosed) return;
+    ++stats_.failsafe_flushes;
+    rib_.clear();
+    process();  // Emits removals for everything previously desired.
+  });
+  session_->start();
+  processor_ = std::make_unique<sim::PeriodicTask>(
+      queue_, sim::Seconds(config_.process_interval_s), [this] { process(); });
+}
+
+void BlackholingController::on_update(const bgp::UpdateMessage& update) {
+  ++stats_.updates_processed;
+  // The BGP processor stores announced routes in the RIB; peer 0 (the route
+  // server session) with ADD-PATH path-ids distinguishing member paths.
+  rib_.apply_update(0, update);
+}
+
+std::vector<std::pair<std::string, BlackholingController::DesiredRule>>
+BlackholingController::derive_rules(const bgp::Route& route) {
+  std::vector<std::pair<std::string, DesiredRule>> out;
+  const bool ext_namespace_usable = config_.ixp_asn <= 0xffff;
+  const bool has_ext =
+      ext_namespace_usable &&
+      HasStellarSignal(static_cast<std::uint16_t>(config_.ixp_asn),
+                       route.attrs.extended_communities);
+  const bool has_large =
+      HasStellarSignalLarge(config_.ixp_asn, route.attrs.large_communities);
+  if (!has_ext && !has_large) return out;
+
+  // Stats are per signaled route, not per processing round.
+  const bool first_seen = stats_counted_.insert({route.prefix, route.path_id}).second;
+
+  // Merge both namespaces: rules union, any shaping action applies.
+  Signal merged;
+  if (has_ext) {
+    auto decoded = DecodeSignal(static_cast<std::uint16_t>(config_.ixp_asn),
+                                route.attrs.extended_communities);
+    if (!decoded.ok()) {
+      if (first_seen) ++stats_.invalid_signals;
+      return out;
+    }
+    merged = std::move(*decoded);
+  }
+  if (has_large) {
+    auto decoded = DecodeSignalLarge(config_.ixp_asn, route.attrs.large_communities);
+    if (!decoded.ok()) {
+      if (first_seen) ++stats_.invalid_signals;
+      return out;
+    }
+    merged.rules.insert(merged.rules.end(), decoded->rules.begin(), decoded->rules.end());
+    std::sort(merged.rules.begin(), merged.rules.end());
+    merged.rules.erase(std::unique(merged.rules.begin(), merged.rules.end()),
+                       merged.rules.end());
+    if (!merged.shape_rate_mbps) merged.shape_rate_mbps = decoded->shape_rate_mbps;
+  }
+  const auto& signal = merged;
+  if (signal.rules.empty()) {
+    if (first_seen) ++stats_.invalid_signals;
+    return out;
+  }
+  if (first_seen) ++stats_.signals_decoded;
+
+  // The signaling member is the path's origin (the route server has already
+  // verified the origin matches the announcing session and IRR ownership).
+  const auto member = route.attrs.origin_asn();
+  if (!member) {
+    if (first_seen) ++stats_.invalid_signals;
+    return out;
+  }
+  const auto entry = directory_(*member);
+  if (!entry) {
+    if (first_seen) ++stats_.invalid_signals;
+    return out;
+  }
+
+  const bool shaping = signal.is_shaping();
+  for (std::size_t i = 0; i < signal.rules.size(); ++i) {
+    const SignalRule& sr = signal.rules[i];
+    filter::MatchCriteria criteria;
+    if (sr.kind == RuleKind::kPredefined) {
+      const MatchTemplate* tmpl =
+          portal_ != nullptr ? portal_->lookup(sr.value, *member) : nullptr;
+      if (tmpl == nullptr) {
+        if (first_seen) ++stats_.invalid_signals;
+        continue;
+      }
+      criteria = tmpl->bind(route.prefix);
+    } else {
+      auto converted = ToMatchCriteria(sr, route.prefix);
+      if (!converted.ok()) {
+        if (first_seen) ++stats_.invalid_signals;
+        continue;
+      }
+      criteria = *converted;
+    }
+    DesiredRule desired;
+    desired.member = *member;
+    desired.port = entry->port;
+    desired.rule.match = criteria;
+    desired.rule.action = shaping ? filter::FilterAction::kShape : filter::FilterAction::kDrop;
+    desired.rule.shape_rate_mbps = shaping ? *signal.shape_rate_mbps : 0.0;
+
+    const std::string key = route.prefix.str() + "|path" + std::to_string(route.path_id) +
+                            "|rule" + std::to_string(i) + "|" + sr.str();
+    out.emplace_back(key, std::move(desired));
+  }
+  return out;
+}
+
+void BlackholingController::process() {
+  // Recompute the full desired state from the current RIB, then diff against
+  // what we previously emitted. Equivalent to the paper's RIB-snapshot
+  // differencing, but naturally idempotent.
+  std::map<std::string, DesiredRule> target;
+  std::map<filter::PortId, int> rules_per_port;
+  rib_.for_each([&](const bgp::Route& route) {
+    for (auto& [key, desired] : derive_rules(route)) {
+      // Admission control: cap concurrent rules per member port. Rules we
+      // already run keep their slot; new ones beyond the budget are rejected.
+      int& count = rules_per_port[desired.port];
+      if (count >= config_.max_rules_per_port) {
+        if (!desired_.contains(key)) ++stats_.admission_rejected;
+        continue;
+      }
+      if (target.emplace(key, std::move(desired)).second) ++count;
+    }
+  });
+
+  // Removals: previously desired, no longer signaled.
+  for (auto it = desired_.begin(); it != desired_.end();) {
+    if (target.contains(it->first)) {
+      ++it;
+      continue;
+    }
+    ConfigChange change = it->second;
+    change.op = ConfigChange::Op::kRemove;
+    ++stats_.removals_emitted;
+    if (sink_) sink_(change);
+    it = desired_.erase(it);
+  }
+
+  // Installs and modifications.
+  for (auto& [key, desired] : target) {
+    const auto it = desired_.find(key);
+    if (it != desired_.end() && it->second.rule == desired.rule) continue;
+    if (it != desired_.end()) {
+      // Modified in place (e.g. shape -> drop escalation): remove then install.
+      ConfigChange removal = it->second;
+      removal.op = ConfigChange::Op::kRemove;
+      ++stats_.removals_emitted;
+      if (sink_) sink_(removal);
+    }
+    ConfigChange change;
+    change.op = ConfigChange::Op::kInstall;
+    change.member = desired.member;
+    change.port = desired.port;
+    change.rule = desired.rule;
+    change.key = key;
+    desired_[key] = change;
+    ++stats_.installs_emitted;
+    if (sink_) sink_(change);
+  }
+}
+
+}  // namespace stellar::core

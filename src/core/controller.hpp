@@ -1,0 +1,129 @@
+// The blackholing controller (paper §4.4, Fig. 7): passive iBGP speaker
+// behind the route server, consuming every accepted path via ADD-PATH,
+// tracking signaled blackholing rules in a RIB, and turning RIB differences
+// into abstract (hardware-independent) configuration changes.
+//
+// Admission control lives here (paper §4.1.2: "management has to do
+// 'admission control' (limit the number of blackholing rules) to ensure that
+// the hardware resource limitations of the IXP's forwarding hardware are
+// respected").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bgp/rib.hpp"
+#include "bgp/session.hpp"
+#include "core/portal.hpp"
+#include "core/signal.hpp"
+#include "filter/qos.hpp"
+#include "sim/event_queue.hpp"
+
+namespace stellar::core {
+
+/// One abstract configuration change, the unit flowing from the controller
+/// through the token-bucket queue into a compiler.
+struct ConfigChange {
+  enum class Op : std::uint8_t { kInstall, kRemove };
+
+  Op op = Op::kInstall;
+  bgp::Asn member = 0;  ///< The victim member whose port the rule protects.
+  filter::PortId port = 0;
+  filter::FilterRule rule;
+  /// Stable identity across install/remove: derived from the signaling
+  /// route's (prefix, path-id) and the rule's position in the signal.
+  std::string key;
+  /// Set by the network manager when the change enters its queue.
+  double enqueued_at_s = 0.0;
+
+  [[nodiscard]] std::string str() const;
+};
+
+class BlackholingController {
+ public:
+  struct PortDirectoryEntry {
+    filter::PortId port = 0;
+    double capacity_mbps = 0.0;
+  };
+  /// Resolves a member ASN to its IXP port (nullopt: not a member).
+  using PortDirectory = std::function<std::optional<PortDirectoryEntry>(bgp::Asn)>;
+  using ChangeSink = std::function<void(ConfigChange)>;
+
+  struct Config {
+    /// The IXP's ASN. Signals are accepted in the two-octet-AS extended
+    /// community namespace (when the ASN fits 16 bits) and in the RFC 8092
+    /// large-community namespace (always).
+    bgp::Asn ixp_asn = 64500;
+    /// RIB-diff processing cadence.
+    double process_interval_s = 0.5;
+    /// Admission control: max concurrently desired rules per member port.
+    int max_rules_per_port = 64;
+    /// Negotiate ADD-PATH on the route-server session. Disabling it loses
+    /// the ability to honor diverging rules for one prefix from different
+    /// members (paper §4.3) — kept switchable for the ablation bench.
+    bool use_add_path = true;
+  };
+
+  /// `transport` is the endpoint returned by RouteServer::accept_controller().
+  BlackholingController(sim::EventQueue& queue, std::shared_ptr<bgp::Endpoint> transport,
+                        Config config, PortDirectory directory, const RulePortal* portal);
+
+  void set_change_sink(ChangeSink sink) { sink_ = std::move(sink); }
+
+  /// Recomputes the desired rule set from the RIB and emits the differences.
+  /// Called periodically; exposed for tests and for immediate reaction.
+  void process();
+
+  struct Stats {
+    std::uint64_t updates_processed = 0;
+    std::uint64_t signals_decoded = 0;
+    std::uint64_t invalid_signals = 0;      ///< Malformed or unauthorized.
+    std::uint64_t admission_rejected = 0;   ///< Over the per-port rule budget.
+    std::uint64_t installs_emitted = 0;
+    std::uint64_t removals_emitted = 0;
+    /// Times the fail-safe flushed all rules after losing the route server.
+    std::uint64_t failsafe_flushes = 0;
+  };
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const bgp::Rib& rib() const { return rib_; }
+  [[nodiscard]] bgp::Session& session() { return *session_; }
+  /// Currently desired (admitted) rules, keyed by change identity.
+  [[nodiscard]] const std::map<std::string, ConfigChange>& desired() const { return desired_; }
+
+ private:
+  struct DesiredRule {
+    bgp::Asn member;
+    filter::PortId port;
+    filter::FilterRule rule;
+  };
+
+  void on_update(const bgp::UpdateMessage& update);
+  /// Derives the rules a single RIB route asks for.
+  [[nodiscard]] std::vector<std::pair<std::string, DesiredRule>> derive_rules(
+      const bgp::Route& route);
+
+  sim::EventQueue& queue_;
+  Config config_;
+  PortDirectory directory_;
+  const RulePortal* portal_;
+  std::unique_ptr<bgp::Session> session_;
+  std::unique_ptr<sim::PeriodicTask> processor_;
+  bgp::Rib rib_;
+  /// Signal routes already counted in stats (process() re-derives every
+  /// round; stats must count each signaled route once).
+  std::set<std::pair<net::Prefix4, bgp::PathId>> stats_counted_;
+  /// key -> change currently believed installed (or queued to install).
+  std::map<std::string, ConfigChange> desired_;
+  ChangeSink sink_;
+  Stats stats_;
+};
+
+}  // namespace stellar::core

@@ -1,0 +1,63 @@
+#include "core/portal.hpp"
+
+#include "net/ports.hpp"
+
+namespace stellar::core {
+
+filter::MatchCriteria MatchTemplate::bind(const net::Prefix4& victim) const {
+  filter::MatchCriteria m;
+  m.dst_prefix = victim;
+  m.proto = proto;
+  m.src_port = src_port;
+  m.dst_port = dst_port;
+  m.src_prefix = src_prefix;
+  m.src_mac = src_mac;
+  return m;
+}
+
+RulePortal::RulePortal() {
+  auto udp_src = [](std::uint16_t port, std::string what) {
+    MatchTemplate t;
+    t.description = std::move(what);
+    t.proto = net::IpProto::kUdp;
+    t.src_port = filter::PortRange::Single(port);
+    return t;
+  };
+  std::uint16_t id = 1;
+  predefined_[id++] = udp_src(net::kPortNtp, "NTP amplification (udp/123 responses)");
+  predefined_[id++] = udp_src(net::kPortDns, "DNS amplification (udp/53 responses)");
+  predefined_[id++] = udp_src(net::kPortMemcached, "memcached amplification (udp/11211)");
+  predefined_[id++] = udp_src(net::kPortLdap, "CLDAP amplification (udp/389)");
+  predefined_[id++] = udp_src(net::kPortChargen, "chargen amplification (udp/19)");
+  predefined_[id++] = udp_src(1900, "SSDP amplification (udp/1900)");
+  predefined_[id++] = udp_src(161, "SNMP amplification (udp/161)");
+  {
+    MatchTemplate t;
+    t.description = "non-initial fragments of amplification responses (udp port 0)";
+    t.proto = net::IpProto::kUdp;
+    t.src_port = filter::PortRange::Single(0);
+    predefined_[id++] = t;
+  }
+  {
+    MatchTemplate t;
+    t.description = "all UDP towards the victim";
+    t.proto = net::IpProto::kUdp;
+    predefined_[id++] = t;
+  }
+}
+
+std::uint16_t RulePortal::define_custom_rule(bgp::Asn member, MatchTemplate rule) {
+  const std::uint16_t id = next_custom_id_++;
+  custom_[id] = {member, std::move(rule)};
+  return id;
+}
+
+const MatchTemplate* RulePortal::lookup(std::uint16_t id, bgp::Asn member) const {
+  if (const auto it = predefined_.find(id); it != predefined_.end()) return &it->second;
+  if (const auto it = custom_.find(id); it != custom_.end() && it->second.first == member) {
+    return &it->second.second;
+  }
+  return nullptr;
+}
+
+}  // namespace stellar::core

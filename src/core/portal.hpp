@@ -1,0 +1,61 @@
+// Customer portal (paper §4.3: the blackholing-rule reference "can be
+// predefined by the IXP or by the IXP member via a customer portal
+// (self-service portal). Currently, the IXP offers a shared set of predefined
+// blackholing rules for common attack patterns but custom blackholing rules
+// can be defined as well").
+//
+// A portal entry is a match *template*: everything except the destination,
+// which is always bound to the prefix the member announces the signal for —
+// a member can never filter someone else's traffic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/types.hpp"
+#include "filter/rule.hpp"
+
+namespace stellar::core {
+
+struct MatchTemplate {
+  std::string description;
+  std::optional<net::IpProto> proto;
+  std::optional<filter::PortRange> src_port;
+  std::optional<filter::PortRange> dst_port;
+  std::optional<net::Prefix4> src_prefix;
+  std::optional<net::MacAddress> src_mac;
+
+  /// Binds the template to a victim prefix.
+  [[nodiscard]] filter::MatchCriteria bind(const net::Prefix4& victim) const;
+};
+
+class RulePortal {
+ public:
+  /// Loads the IXP's shared catalog of predefined rules for common
+  /// amplification attack patterns (ids 1..N): NTP, DNS, memcached, LDAP,
+  /// chargen, SSDP, fragments, all-UDP.
+  RulePortal();
+
+  /// Registers a member-defined rule; returns its id (usable in a
+  /// kPredefined signal community by that member only).
+  std::uint16_t define_custom_rule(bgp::Asn member, MatchTemplate rule);
+
+  /// Resolves a rule id for a member: predefined ids are visible to all,
+  /// custom ids only to their owner. nullptr if unknown/not visible.
+  [[nodiscard]] const MatchTemplate* lookup(std::uint16_t id, bgp::Asn member) const;
+
+  [[nodiscard]] std::size_t predefined_count() const { return predefined_.size(); }
+  [[nodiscard]] const std::map<std::uint16_t, MatchTemplate>& predefined() const {
+    return predefined_;
+  }
+
+ private:
+  std::map<std::uint16_t, MatchTemplate> predefined_;
+  std::map<std::uint16_t, std::pair<bgp::Asn, MatchTemplate>> custom_;
+  std::uint16_t next_custom_id_ = 1000;  ///< Custom ids start above the catalog.
+};
+
+}  // namespace stellar::core

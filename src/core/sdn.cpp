@@ -1,0 +1,83 @@
+#include "core/sdn.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace stellar::core {
+
+util::Result<void> FlowTable::add(FlowEntry entry) {
+  if (entries_.size() >= capacity_) {
+    return util::MakeError("sdn.table_full", "flow table at capacity " +
+                                                 std::to_string(capacity_));
+  }
+  if (find(entry.cookie) != nullptr) {
+    return util::MakeError("sdn.duplicate_cookie",
+                           "cookie " + std::to_string(entry.cookie) + " already present");
+  }
+  entries_.push_back(std::move(entry));
+  return {};
+}
+
+bool FlowTable::remove(std::uint64_t cookie) {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [cookie](const FlowEntry& e) { return e.cookie == cookie; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+const FlowEntry* FlowTable::match(const net::FlowKey& flow) const {
+  const FlowEntry* best = nullptr;
+  for (const auto& e : entries_) {
+    if (!e.match.matches(flow)) continue;
+    if (best == nullptr || e.priority > best->priority) best = &e;
+  }
+  return best;
+}
+
+const FlowEntry* FlowTable::entry(std::uint64_t cookie) const {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [cookie](const FlowEntry& e) { return e.cookie == cookie; });
+  return it == entries_.end() ? nullptr : &*it;
+}
+
+FlowEntry* FlowTable::find(std::uint64_t cookie) {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [cookie](const FlowEntry& e) { return e.cookie == cookie; });
+  return it == entries_.end() ? nullptr : &*it;
+}
+
+filter::PortBinResult FlowTable::apply(std::span<const net::FlowSample> demands,
+                                       double port_capacity_mbps, double bin_s) {
+  // Reuse the QoS fluid engine by projecting matched entries onto a policy:
+  // highest-priority-first order gives first-match-wins equivalence.
+  filter::QosPolicy policy;
+  std::vector<const FlowEntry*> ordered;
+  ordered.reserve(entries_.size());
+  for (const auto& e : entries_) ordered.push_back(&e);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const FlowEntry* a, const FlowEntry* b) { return a->priority > b->priority; });
+  for (const FlowEntry* e : ordered) {
+    filter::FilterRule rule;
+    rule.match = e->match;
+    rule.action = e->action;
+    rule.shape_rate_mbps = e->meter_rate_mbps;
+    policy.add_rule(e->cookie, std::move(rule));
+  }
+  filter::PortBinResult result = ApplyEgressQos(demands, policy, port_capacity_mbps, bin_s);
+
+  // Fold the per-rule counters back into OpenFlow-style entry counters.
+  for (auto& e : entries_) {
+    const auto it = result.rule_counters.find(e.cookie);
+    if (it == result.rule_counters.end()) continue;
+    e.byte_count += it->second.matched_bytes;
+  }
+  for (const auto& d : result.delivered) {
+    if (const FlowEntry* e = match(d.key); e != nullptr) {
+      const_cast<FlowEntry*>(e)->packet_count += d.packets;
+    }
+  }
+  return result;
+}
+
+}  // namespace stellar::core

@@ -1,0 +1,63 @@
+// OpenFlow-style flow table — the data-plane target of the SDN realization
+// (paper §4.2.2: "SDN hardware, in principle, offers both the ability to
+// configure via OpenFlow or P4, and realize filters with the match-action
+// abstraction efficiently. Moreover, with per flow counters it is possible to
+// gather statistics"). Stellar's demo realization on the SDX platform [25]
+// corresponds to SdnConfigCompiler driving this table.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "filter/qos.hpp"
+#include "filter/rule.hpp"
+#include "net/flow.hpp"
+#include "util/result.hpp"
+
+namespace stellar::core {
+
+/// One flow entry: match + action + counters, identified by a cookie.
+struct FlowEntry {
+  std::uint64_t cookie = 0;
+  std::uint16_t priority = 0;  ///< Higher wins.
+  filter::MatchCriteria match;
+  filter::FilterAction action = filter::FilterAction::kForward;
+  double meter_rate_mbps = 0.0;  ///< For kShape: attached meter band.
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+};
+
+class FlowTable {
+ public:
+  explicit FlowTable(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Adds an entry; fails when the table is full ("table-full" error, the
+  /// OpenFlow OFPFMFC_TABLE_FULL condition).
+  util::Result<void> add(FlowEntry entry);
+
+  /// Removes by cookie; returns false if absent.
+  bool remove(std::uint64_t cookie);
+
+  /// Highest-priority matching entry (ties: earliest installed), or nullptr.
+  [[nodiscard]] const FlowEntry* match(const net::FlowKey& flow) const;
+
+  /// Applies the table to one bin of flow demand, updating per-entry
+  /// counters; semantics mirror the QoS engine (drop / meter / forward, then
+  /// a proportional congestion cut at `port_capacity_mbps`).
+  filter::PortBinResult apply(std::span<const net::FlowSample> demands,
+                              double port_capacity_mbps, double bin_s);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] const FlowEntry* entry(std::uint64_t cookie) const;
+
+ private:
+  [[nodiscard]] FlowEntry* find(std::uint64_t cookie);
+
+  std::size_t capacity_;
+  std::vector<FlowEntry> entries_;
+};
+
+}  // namespace stellar::core

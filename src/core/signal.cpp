@@ -1,0 +1,169 @@
+#include "core/signal.hpp"
+
+#include <algorithm>
+
+namespace stellar::core {
+
+std::string_view ToString(RuleKind kind) {
+  switch (kind) {
+    case RuleKind::kDropAll: return "drop-all";
+    case RuleKind::kProtocol: return "protocol";
+    case RuleKind::kUdpSrcPort: return "udp-src-port";
+    case RuleKind::kUdpDstPort: return "udp-dst-port";
+    case RuleKind::kTcpSrcPort: return "tcp-src-port";
+    case RuleKind::kTcpDstPort: return "tcp-dst-port";
+    case RuleKind::kPredefined: return "predefined";
+  }
+  return "?";
+}
+
+std::string SignalRule::str() const {
+  return std::string(ToString(kind)) + ":" + std::to_string(value);
+}
+
+std::vector<bgp::ExtendedCommunity> EncodeSignal(std::uint16_t ixp_asn, const Signal& signal) {
+  std::vector<bgp::ExtendedCommunity> out;
+  out.reserve(signal.rules.size() + 1);
+  for (const auto& rule : signal.rules) {
+    const std::uint32_t local_admin =
+        (std::uint32_t{static_cast<std::uint8_t>(rule.kind)} << 24) | rule.value;
+    out.push_back(
+        bgp::ExtendedCommunity::TwoOctetAs(kStellarMatchSubtype, ixp_asn, local_admin));
+  }
+  if (signal.is_shaping()) {
+    out.push_back(bgp::ExtendedCommunity::TwoOctetAs(
+        kStellarActionSubtype, ixp_asn,
+        static_cast<std::uint32_t>(*signal.shape_rate_mbps)));
+  }
+  return out;
+}
+
+util::Result<Signal> DecodeSignal(std::uint16_t ixp_asn,
+                                  std::span<const bgp::ExtendedCommunity> ecs) {
+  Signal signal;
+  for (const auto& ec : ecs) {
+    if ((ec.type() & 0x3f) != bgp::ExtendedCommunity::kTypeTwoOctetAs) continue;
+    if (ec.as_number() != ixp_asn) continue;
+    if (ec.subtype() == kStellarMatchSubtype) {
+      const std::uint32_t admin = ec.local_admin();
+      const auto kind_byte = static_cast<std::uint8_t>(admin >> 24);
+      if (kind_byte > static_cast<std::uint8_t>(RuleKind::kPredefined) ||
+          (kind_byte > 5 && kind_byte < 10)) {
+        return util::MakeError("stellar.signal",
+                               "unknown rule kind " + std::to_string(kind_byte));
+      }
+      if ((admin & 0x00ff0000u) != 0) {
+        return util::MakeError("stellar.signal", "reserved byte set in match community");
+      }
+      SignalRule rule;
+      rule.kind = static_cast<RuleKind>(kind_byte);
+      rule.value = static_cast<std::uint16_t>(admin & 0xffff);
+      signal.rules.push_back(rule);
+    } else if (ec.subtype() == kStellarActionSubtype) {
+      signal.shape_rate_mbps = static_cast<double>(ec.local_admin());
+    }
+  }
+  std::sort(signal.rules.begin(), signal.rules.end());
+  signal.rules.erase(std::unique(signal.rules.begin(), signal.rules.end()),
+                     signal.rules.end());
+  return signal;
+}
+
+bool HasStellarSignal(std::uint16_t ixp_asn, std::span<const bgp::ExtendedCommunity> ecs) {
+  return std::any_of(ecs.begin(), ecs.end(), [&](const bgp::ExtendedCommunity& ec) {
+    return (ec.type() & 0x3f) == bgp::ExtendedCommunity::kTypeTwoOctetAs &&
+           ec.as_number() == ixp_asn &&
+           (ec.subtype() == kStellarMatchSubtype || ec.subtype() == kStellarActionSubtype);
+  });
+}
+
+std::vector<bgp::LargeCommunity> EncodeSignalLarge(std::uint32_t ixp_asn,
+                                                   const Signal& signal) {
+  std::vector<bgp::LargeCommunity> out;
+  out.reserve(signal.rules.size() + 1);
+  for (const auto& rule : signal.rules) {
+    out.push_back(bgp::LargeCommunity{
+        ixp_asn,
+        (kStellarLargeMatchFunction << 24) | static_cast<std::uint32_t>(rule.kind),
+        rule.value});
+  }
+  if (signal.is_shaping()) {
+    out.push_back(bgp::LargeCommunity{ixp_asn, kStellarLargeActionFunction << 24,
+                                      static_cast<std::uint32_t>(*signal.shape_rate_mbps)});
+  }
+  return out;
+}
+
+util::Result<Signal> DecodeSignalLarge(std::uint32_t ixp_asn,
+                                       std::span<const bgp::LargeCommunity> lcs) {
+  Signal signal;
+  for (const auto& lc : lcs) {
+    if (lc.global_admin != ixp_asn) continue;
+    const std::uint32_t function = lc.data1 >> 24;
+    if (function == kStellarLargeMatchFunction) {
+      const std::uint32_t kind = lc.data1 & 0x00ffffff;
+      if (kind > static_cast<std::uint32_t>(RuleKind::kPredefined) ||
+          (kind > 5 && kind < 10)) {
+        return util::MakeError("stellar.signal",
+                               "unknown rule kind " + std::to_string(kind));
+      }
+      if (lc.data2 > 0xffff) {
+        return util::MakeError("stellar.signal", "rule value out of 16-bit range");
+      }
+      signal.rules.push_back(
+          {static_cast<RuleKind>(kind), static_cast<std::uint16_t>(lc.data2)});
+    } else if (function == kStellarLargeActionFunction) {
+      signal.shape_rate_mbps = static_cast<double>(lc.data2);
+    }
+  }
+  std::sort(signal.rules.begin(), signal.rules.end());
+  signal.rules.erase(std::unique(signal.rules.begin(), signal.rules.end()),
+                     signal.rules.end());
+  return signal;
+}
+
+bool HasStellarSignalLarge(std::uint32_t ixp_asn, std::span<const bgp::LargeCommunity> lcs) {
+  return std::any_of(lcs.begin(), lcs.end(), [&](const bgp::LargeCommunity& lc) {
+    const std::uint32_t function = lc.data1 >> 24;
+    return lc.global_admin == ixp_asn && (function == kStellarLargeMatchFunction ||
+                                          function == kStellarLargeActionFunction);
+  });
+}
+
+util::Result<filter::MatchCriteria> ToMatchCriteria(const SignalRule& rule,
+                                                    const net::Prefix4& victim) {
+  filter::MatchCriteria m;
+  m.dst_prefix = victim;
+  switch (rule.kind) {
+    case RuleKind::kDropAll:
+      break;
+    case RuleKind::kProtocol:
+      if (rule.value > 0xff) {
+        return util::MakeError("stellar.signal", "protocol value out of range");
+      }
+      m.proto = static_cast<net::IpProto>(rule.value);
+      break;
+    case RuleKind::kUdpSrcPort:
+      m.proto = net::IpProto::kUdp;
+      m.src_port = filter::PortRange::Single(rule.value);
+      break;
+    case RuleKind::kUdpDstPort:
+      m.proto = net::IpProto::kUdp;
+      m.dst_port = filter::PortRange::Single(rule.value);
+      break;
+    case RuleKind::kTcpSrcPort:
+      m.proto = net::IpProto::kTcp;
+      m.src_port = filter::PortRange::Single(rule.value);
+      break;
+    case RuleKind::kTcpDstPort:
+      m.proto = net::IpProto::kTcp;
+      m.dst_port = filter::PortRange::Single(rule.value);
+      break;
+    case RuleKind::kPredefined:
+      return util::MakeError("stellar.signal",
+                             "predefined rules must be resolved via the portal");
+  }
+  return m;
+}
+
+}  // namespace stellar::core

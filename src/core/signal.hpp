@@ -1,0 +1,105 @@
+// Advanced Blackholing signal codec over BGP extended communities
+// (paper §4.2.1: "We choose BGP extended communities for signaling since
+// extended communities provide a sufficiently large numbering space and allow
+// us to define a distinct community namespace for blackholing rules").
+//
+// Wire mapping (two-octet-AS-specific extended community, RFC 4360 §3.1,
+// AS = the IXP's ASN):
+//   subtype 0x80 ("match"):  local_admin = kind(1 byte) | reserved | value(2 bytes)
+//   subtype 0x81 ("action"): local_admin = shape rate in Mbps (0 = drop)
+//
+// The paper's §5.3 example "IXP:2:123 — 2 refers to UDP source traffic and
+// 123 to port 123" maps to kind kUdpSrcPort (=2), value 123.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/types.hpp"
+#include "filter/rule.hpp"
+#include "util/result.hpp"
+
+namespace stellar::core {
+
+/// Stellar's extended-community subtypes inside the IXP namespace.
+inline constexpr std::uint8_t kStellarMatchSubtype = 0x80;
+inline constexpr std::uint8_t kStellarActionSubtype = 0x81;
+
+/// Function selectors for the large-community encoding (data1 high byte).
+inline constexpr std::uint32_t kStellarLargeMatchFunction = 0x80;
+inline constexpr std::uint32_t kStellarLargeActionFunction = 0x81;
+
+/// What a single match community selects. Values are the on-the-wire kind
+/// byte; kUdpSrcPort = 2 matches the paper's "IXP:2:123" example.
+enum class RuleKind : std::uint8_t {
+  kDropAll = 0,      ///< Whole prefix (IXP-side RTBH; no member cooperation needed).
+  kProtocol = 1,     ///< value = IP protocol number (e.g. 17 = all UDP).
+  kUdpSrcPort = 2,   ///< value = UDP source port (amplification service port).
+  kUdpDstPort = 3,
+  kTcpSrcPort = 4,
+  kTcpDstPort = 5,
+  kPredefined = 10,  ///< value = rule id in the IXP's portal catalog.
+};
+
+[[nodiscard]] std::string_view ToString(RuleKind kind);
+
+struct SignalRule {
+  RuleKind kind = RuleKind::kDropAll;
+  std::uint16_t value = 0;
+
+  friend auto operator<=>(const SignalRule&, const SignalRule&) = default;
+  [[nodiscard]] std::string str() const;
+};
+
+/// A full Advanced Blackholing signal: one or more match rules plus the
+/// action. No action community (or rate 0) means drop; a rate means shape —
+/// the telemetry mode of §5.3 ("shapes the traffic to a rate limit of
+/// 200 Mbps for telemetry purposes").
+struct Signal {
+  std::vector<SignalRule> rules;
+  std::optional<double> shape_rate_mbps;  ///< nullopt or 0 => drop.
+
+  [[nodiscard]] bool is_shaping() const {
+    return shape_rate_mbps.has_value() && *shape_rate_mbps > 0.0;
+  }
+
+  friend bool operator==(const Signal&, const Signal&) = default;
+};
+
+/// Encodes a signal into the extended communities to attach to the /32
+/// announcement.
+[[nodiscard]] std::vector<bgp::ExtendedCommunity> EncodeSignal(std::uint16_t ixp_asn,
+                                                               const Signal& signal);
+
+/// Extracts a Stellar signal from a route's extended communities.
+/// Returns an empty-rules Signal if no Stellar communities are present.
+[[nodiscard]] util::Result<Signal> DecodeSignal(std::uint16_t ixp_asn,
+                                                std::span<const bgp::ExtendedCommunity> ecs);
+
+/// True if any extended community belongs to the Stellar namespace of the IXP.
+[[nodiscard]] bool HasStellarSignal(std::uint16_t ixp_asn,
+                                    std::span<const bgp::ExtendedCommunity> ecs);
+
+/// Large-community variant (RFC 8092) of the signal codec. Two-octet-AS
+/// extended communities cannot carry a 4-byte IXP ASN in their AS field;
+/// large communities give the full 32-bit namespace:
+///   global_admin = IXP ASN,
+///   data1        = function(8) << 24 | rule kind(8),
+///   data2        = value (port / protocol / rate in Mbps).
+[[nodiscard]] std::vector<bgp::LargeCommunity> EncodeSignalLarge(std::uint32_t ixp_asn,
+                                                                 const Signal& signal);
+[[nodiscard]] util::Result<Signal> DecodeSignalLarge(
+    std::uint32_t ixp_asn, std::span<const bgp::LargeCommunity> lcs);
+[[nodiscard]] bool HasStellarSignalLarge(std::uint32_t ixp_asn,
+                                         std::span<const bgp::LargeCommunity> lcs);
+
+/// Expands a signal rule into data-plane match criteria against a victim
+/// prefix. kPredefined rules are resolved by the caller via the portal and
+/// rejected here.
+[[nodiscard]] util::Result<filter::MatchCriteria> ToMatchCriteria(const SignalRule& rule,
+                                                                  const net::Prefix4& victim);
+
+}  // namespace stellar::core

@@ -1,0 +1,69 @@
+#include "core/stellar.hpp"
+
+namespace stellar::core {
+
+StellarSystem::StellarSystem(ixp::Ixp& ixp, Config config) : ixp_(ixp) {
+  config.controller.ixp_asn = ixp.config().asn;
+  compiler_ = std::make_unique<QosConfigCompiler>(ixp.edge_router());
+  manager_ = std::make_unique<NetworkManager>(ixp.queue(), *compiler_, config.manager);
+
+  BlackholingController::PortDirectory directory =
+      [&ixp](bgp::Asn asn) -> std::optional<BlackholingController::PortDirectoryEntry> {
+    ixp::MemberRouter* member = ixp.member(asn);
+    if (member == nullptr) return std::nullopt;
+    return BlackholingController::PortDirectoryEntry{member->info().port,
+                                                     member->info().port_capacity_mbps};
+  };
+
+  controller_ = std::make_unique<BlackholingController>(
+      ixp.queue(), ixp.route_server().accept_controller(), config.controller,
+      std::move(directory), &portal_);
+  controller_->set_change_sink([this](ConfigChange change) { manager_->enqueue(std::move(change)); });
+}
+
+std::vector<StellarSystem::TelemetryRecord> StellarSystem::telemetry(bgp::Asn member) const {
+  std::vector<TelemetryRecord> out;
+  for (const auto& [key, change] : controller_->desired()) {
+    if (change.member != member) continue;
+    TelemetryRecord record;
+    record.key = key;
+    record.port = change.port;
+    record.rule = change.rule;
+    if (const auto id = compiler_->rule_id(key)) {
+      record.counters = ixp_.edge_router().counters(*id);
+    }
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+void SignalAdvancedBlackholing(ixp::MemberRouter& member, const ixp::RouteServer& route_server,
+                               const net::Prefix4& prefix, const Signal& signal,
+                               bool also_propagate_to_members) {
+  std::vector<bgp::Community> communities;
+  if (!also_propagate_to_members) communities.push_back(route_server.announce_to_none());
+  member.announce(prefix, std::move(communities),
+                  EncodeSignal(static_cast<std::uint16_t>(route_server.config().asn), signal));
+}
+
+void SignalAdvancedBlackholingLarge(ixp::MemberRouter& member,
+                                    const ixp::RouteServer& route_server,
+                                    const net::Prefix4& prefix, const Signal& signal,
+                                    bool also_propagate_to_members) {
+  bgp::UpdateMessage update;
+  update.attrs.origin = bgp::Origin::kIgp;
+  update.attrs.as_path = {{bgp::AsPathSegment::Type::kSequence, {member.info().asn}}};
+  update.attrs.next_hop = member.info().router_ip;
+  if (!also_propagate_to_members) {
+    update.attrs.communities.push_back(route_server.announce_to_none());
+  }
+  update.attrs.large_communities = EncodeSignalLarge(route_server.config().asn, signal);
+  update.announced.push_back(bgp::Nlri4{0, prefix});
+  member.session()->announce(std::move(update));
+}
+
+void WithdrawAdvancedBlackholing(ixp::MemberRouter& member, const net::Prefix4& prefix) {
+  member.withdraw(prefix);
+}
+
+}  // namespace stellar::core

@@ -1,0 +1,70 @@
+// StellarSystem: the deployed Advanced Blackholing service — signaling layer
+// (route server + extended communities), management layer (controller +
+// network manager with the QoS compiler) and filtering layer (edge-router QoS
+// policies) wired onto an Ixp (paper Fig. 5).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/network_manager.hpp"
+#include "core/portal.hpp"
+#include "ixp/ixp.hpp"
+
+namespace stellar::core {
+
+class StellarSystem {
+ public:
+  struct Config {
+    BlackholingController::Config controller{};
+    NetworkManager::Config manager{};
+  };
+
+  StellarSystem(ixp::Ixp& ixp, Config config);
+  explicit StellarSystem(ixp::Ixp& ixp) : StellarSystem(ixp, Config{}) {}
+
+  [[nodiscard]] BlackholingController& controller() { return *controller_; }
+  [[nodiscard]] NetworkManager& manager() { return *manager_; }
+  [[nodiscard]] RulePortal& portal() { return portal_; }
+  [[nodiscard]] QosConfigCompiler& compiler() { return *compiler_; }
+
+  /// Per-rule telemetry for one member: the feedback channel that lets a
+  /// victim see attack state and volume without lifting the mitigation.
+  struct TelemetryRecord {
+    std::string key;
+    filter::PortId port = 0;
+    filter::FilterRule rule;
+    filter::RuleCounters counters;
+  };
+  [[nodiscard]] std::vector<TelemetryRecord> telemetry(bgp::Asn member) const;
+
+ private:
+  ixp::Ixp& ixp_;
+  RulePortal portal_;
+  std::unique_ptr<QosConfigCompiler> compiler_;
+  std::unique_ptr<NetworkManager> manager_;
+  std::unique_ptr<BlackholingController> controller_;
+};
+
+/// Member-side convenience: announce `prefix` with an Advanced Blackholing
+/// signal. By default the announcement is scoped to the IXP only
+/// (announce-to-none) — one-to-IXP signaling, no member cooperation — which
+/// is the defining difference from RTBH's one-to-all model.
+void SignalAdvancedBlackholing(ixp::MemberRouter& member, const ixp::RouteServer& route_server,
+                               const net::Prefix4& prefix, const Signal& signal,
+                               bool also_propagate_to_members = false);
+
+/// Same as SignalAdvancedBlackholing but signaling in the RFC 8092
+/// large-community namespace — required when the IXP's ASN does not fit the
+/// two-octet-AS extended community AS field.
+void SignalAdvancedBlackholingLarge(ixp::MemberRouter& member,
+                                    const ixp::RouteServer& route_server,
+                                    const net::Prefix4& prefix, const Signal& signal,
+                                    bool also_propagate_to_members = false);
+
+/// Withdraw a previously signaled prefix (removes its rules at the next
+/// controller processing round).
+void WithdrawAdvancedBlackholing(ixp::MemberRouter& member, const net::Prefix4& prefix);
+
+}  // namespace stellar::core

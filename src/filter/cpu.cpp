@@ -1,0 +1,14 @@
+#include "filter/cpu.hpp"
+
+#include <algorithm>
+
+namespace stellar::filter {
+
+double ControlPlaneCpu::measure_interval(double updates, double interval_s,
+                                         util::Rng& rng) const {
+  const double rate = interval_s > 0.0 ? updates / interval_s : 0.0;
+  const double noisy = expected_percent(rate) + rng.normal(0.0, config_.noise_stddev_percent);
+  return std::clamp(noisy, 0.0, 100.0);
+}
+
+}  // namespace stellar::filter

@@ -1,0 +1,80 @@
+#include "filter/edge_router.hpp"
+
+#include <stdexcept>
+
+namespace stellar::filter {
+
+EdgeRouter::EdgeRouter(std::string name, TcamLimits tcam_limits, CpuModelConfig cpu_config)
+    : name_(std::move(name)), tcam_(tcam_limits), cpu_(cpu_config) {}
+
+void EdgeRouter::add_port(PortId port, double capacity_mbps) {
+  if (capacity_mbps <= 0.0) throw std::invalid_argument("port capacity must be positive");
+  ports_[port].capacity_mbps = capacity_mbps;
+}
+
+double EdgeRouter::port_capacity_mbps(PortId port) const {
+  const auto it = ports_.find(port);
+  if (it == ports_.end()) throw std::out_of_range("unknown port " + std::to_string(port));
+  return it->second.capacity_mbps;
+}
+
+std::vector<PortId> EdgeRouter::ports() const {
+  std::vector<PortId> out;
+  out.reserve(ports_.size());
+  for (const auto& [id, port] : ports_) out.push_back(id);
+  return out;
+}
+
+util::Result<RuleId> EdgeRouter::install_rule(PortId port, FilterRule rule) {
+  const auto it = ports_.find(port);
+  if (it == ports_.end()) {
+    return util::MakeError("router.no_port", "unknown port " + std::to_string(port));
+  }
+  const TcamFailure failure = tcam_.allocate(port, rule.match);
+  if (failure != TcamFailure::kNone) {
+    return util::MakeError(std::string(ToString(failure)),
+                           "TCAM exhausted installing " + rule.str() + " on port " +
+                               std::to_string(port));
+  }
+  const RuleId id = next_rule_id_++;
+  rule_resources_.emplace(id, rule.match);
+  it->second.policy.add_rule(id, std::move(rule));
+  ++config_ops_;
+  return id;
+}
+
+bool EdgeRouter::remove_rule(PortId port, RuleId id) {
+  const auto it = ports_.find(port);
+  if (it == ports_.end()) return false;
+  if (!it->second.policy.remove_rule(id)) return false;
+  const auto res = rule_resources_.find(id);
+  if (res != rule_resources_.end()) {
+    tcam_.release(port, res->second);
+    rule_resources_.erase(res);
+  }
+  ++config_ops_;
+  return true;
+}
+
+const QosPolicy& EdgeRouter::policy(PortId port) const {
+  static const QosPolicy kEmpty;
+  const auto it = ports_.find(port);
+  return it == ports_.end() ? kEmpty : it->second.policy;
+}
+
+PortBinResult EdgeRouter::deliver(PortId port, std::span<const net::FlowSample> demands,
+                                  double bin_s) {
+  const auto it = ports_.find(port);
+  if (it == ports_.end()) throw std::out_of_range("unknown port " + std::to_string(port));
+  PortBinResult result =
+      ApplyEgressQos(demands, it->second.policy, it->second.capacity_mbps, bin_s);
+  for (const auto& [id, delta] : result.rule_counters) counters_[id] += delta;
+  return result;
+}
+
+RuleCounters EdgeRouter::counters(RuleId id) const {
+  const auto it = counters_.find(id);
+  return it == counters_.end() ? RuleCounters{} : it->second;
+}
+
+}  // namespace stellar::filter

@@ -1,0 +1,73 @@
+// Edge router model: member ports with capacities, a TCAM for filter
+// resources, per-port QoS policies, cumulative telemetry counters, and a
+// control-plane CPU model. "IXPs often deploy routers but configure them to
+// act as switches" (paper footnote 5) — the ER forwards at L2 but exposes
+// router-grade ACL/QoS features, which is exactly what Stellar exploits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "filter/cpu.hpp"
+#include "filter/qos.hpp"
+#include "filter/tcam.hpp"
+#include "util/result.hpp"
+
+namespace stellar::filter {
+
+class EdgeRouter {
+ public:
+  EdgeRouter(std::string name, TcamLimits tcam_limits, CpuModelConfig cpu_config = {});
+
+  void add_port(PortId port, double capacity_mbps);
+  [[nodiscard]] bool has_port(PortId port) const { return ports_.contains(port); }
+  [[nodiscard]] double port_capacity_mbps(PortId port) const;
+  [[nodiscard]] std::vector<PortId> ports() const;
+
+  /// Installs a rule on a port's egress policy after reserving TCAM
+  /// resources. On success returns the rule id; on failure the error code is
+  /// the TcamFailure name ("F1", "F2", ...).
+  util::Result<RuleId> install_rule(PortId port, FilterRule rule);
+
+  /// Removes a rule and releases its TCAM resources.
+  bool remove_rule(PortId port, RuleId id);
+
+  /// The port's egress policy (empty policy if none installed yet).
+  [[nodiscard]] const QosPolicy& policy(PortId port) const;
+
+  /// Pushes one bin of egress demand through the port, accumulating
+  /// per-rule telemetry counters.
+  PortBinResult deliver(PortId port, std::span<const net::FlowSample> demands, double bin_s);
+
+  /// Cumulative counters for a rule since installation.
+  [[nodiscard]] RuleCounters counters(RuleId id) const;
+
+  [[nodiscard]] Tcam& tcam() { return tcam_; }
+  [[nodiscard]] const Tcam& tcam() const { return tcam_; }
+  [[nodiscard]] const ControlPlaneCpu& cpu() const { return cpu_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Total configuration operations performed (installs + removals) — the
+  /// quantity the CPU model prices.
+  [[nodiscard]] std::uint64_t config_ops() const { return config_ops_; }
+
+ private:
+  struct Port {
+    double capacity_mbps = 0.0;
+    QosPolicy policy;
+  };
+
+  std::string name_;
+  Tcam tcam_;
+  ControlPlaneCpu cpu_;
+  std::unordered_map<PortId, Port> ports_;
+  std::unordered_map<RuleId, MatchCriteria> rule_resources_;  ///< For TCAM release.
+  std::unordered_map<RuleId, RuleCounters> counters_;
+  RuleId next_rule_id_ = 1;
+  std::uint64_t config_ops_ = 0;
+};
+
+}  // namespace stellar::filter

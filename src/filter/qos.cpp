@@ -1,0 +1,114 @@
+#include "filter/qos.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stellar::filter {
+
+void QosPolicy::add_rule(RuleId id, FilterRule rule) {
+  rules_.push_back(InstalledRule{id, std::move(rule)});
+}
+
+bool QosPolicy::remove_rule(RuleId id) {
+  const auto it = std::find_if(rules_.begin(), rules_.end(),
+                               [id](const InstalledRule& r) { return r.id == id; });
+  if (it == rules_.end()) return false;
+  rules_.erase(it);
+  return true;
+}
+
+const InstalledRule* QosPolicy::classify(const net::FlowKey& flow) const {
+  for (const auto& r : rules_) {
+    if (r.rule.match.matches(flow)) return &r;
+  }
+  return nullptr;
+}
+
+PortBinResult ApplyEgressQos(std::span<const net::FlowSample> demands, const QosPolicy& policy,
+                             double port_capacity_mbps, double bin_s) {
+  assert(bin_s > 0.0);
+  PortBinResult result;
+
+  // Pass 1: classify, apply drop rules, and accumulate per-shaper demand.
+  struct Classified {
+    const net::FlowSample* sample;
+    const InstalledRule* rule;  ///< nullptr or kForward => forwarding queue.
+  };
+  std::vector<Classified> survivors;
+  survivors.reserve(demands.size());
+  std::unordered_map<RuleId, double> shaper_demand_bytes;
+
+  for (const auto& d : demands) {
+    result.offered_mbps += d.mbps(bin_s);
+    const InstalledRule* rule = policy.classify(d.key);
+    if (rule != nullptr) result.rule_counters[rule->id].matched_bytes += d.bytes;
+    if (rule != nullptr && rule->rule.action == FilterAction::kDrop) {
+      result.rule_dropped_mbps += d.mbps(bin_s);
+      result.rule_counters[rule->id].dropped_bytes += d.bytes;
+      continue;
+    }
+    if (rule != nullptr && rule->rule.action == FilterAction::kShape) {
+      shaper_demand_bytes[rule->id] += static_cast<double>(d.bytes);
+    }
+    survivors.push_back(Classified{&d, rule});
+  }
+
+  // Pass 2: per-shaper admit fractions (each shaping queue drains at its
+  // configured rate; excess is discarded at the shaper).
+  std::unordered_map<RuleId, double> shaper_admit;  // Fraction of bytes passed.
+  for (const auto& r : policy.rules()) {
+    if (r.rule.action != FilterAction::kShape) continue;
+    const auto it = shaper_demand_bytes.find(r.id);
+    if (it == shaper_demand_bytes.end() || it->second <= 0.0) continue;
+    const double allowed_bytes = r.rule.shape_rate_mbps * 1e6 / 8.0 * bin_s;
+    shaper_admit[r.id] = std::min(1.0, allowed_bytes / it->second);
+  }
+
+  // Pass 3: demand entering the forwarding queue; then a proportional
+  // congestion cut if it exceeds the port capacity.
+  double forward_demand_bytes = 0.0;
+  for (const auto& c : survivors) {
+    double bytes = static_cast<double>(c.sample->bytes);
+    if (c.rule != nullptr && c.rule->rule.action == FilterAction::kShape) {
+      bytes *= shaper_admit[c.rule->id];
+    }
+    forward_demand_bytes += bytes;
+  }
+  const double capacity_bytes = port_capacity_mbps * 1e6 / 8.0 * bin_s;
+  const double congestion_admit =
+      forward_demand_bytes <= capacity_bytes || forward_demand_bytes == 0.0
+          ? 1.0
+          : capacity_bytes / forward_demand_bytes;
+
+  for (const auto& c : survivors) {
+    const double offered = static_cast<double>(c.sample->bytes);
+    double after_shaper = offered;
+    if (c.rule != nullptr && c.rule->rule.action == FilterAction::kShape) {
+      after_shaper = offered * shaper_admit[c.rule->id];
+      const double shaped_away = offered - after_shaper;
+      result.shaper_dropped_mbps += shaped_away * 8.0 / 1e6 / bin_s;
+      result.rule_counters[c.rule->id].dropped_bytes +=
+          static_cast<std::uint64_t>(shaped_away);
+    }
+    const double delivered = after_shaper * congestion_admit;
+    result.congestion_dropped_mbps += (after_shaper - delivered) * 8.0 / 1e6 / bin_s;
+    result.delivered_mbps += delivered * 8.0 / 1e6 / bin_s;
+    if (c.rule != nullptr && c.rule->rule.action == FilterAction::kShape) {
+      result.rule_counters[c.rule->id].delivered_bytes +=
+          static_cast<std::uint64_t>(delivered);
+    }
+    if (delivered >= 1.0) {
+      net::FlowSample out = *c.sample;
+      out.bytes = static_cast<std::uint64_t>(delivered);
+      // Scale packet counts with the byte survival ratio.
+      out.packets = offered > 0.0
+                        ? static_cast<std::uint64_t>(static_cast<double>(c.sample->packets) *
+                                                     delivered / offered)
+                        : 0;
+      result.delivered.push_back(std::move(out));
+    }
+  }
+  return result;
+}
+
+}  // namespace stellar::filter

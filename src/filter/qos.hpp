@@ -1,0 +1,84 @@
+// QoS policy engine — the filtering layer of Stellar (paper §4.5, Fig. 8).
+//
+// A policy is an ordered rule list applied on the *egress* port of the member
+// under attack: classification tags each flow "drop", "shape" or "forward";
+// dropped flows go to a zero-length queue, shaped flows share their rule's
+// rate-limited queue, and everything surviving competes for the member port's
+// capacity in the forwarding queue. The engine is fluid (per-time-bin byte
+// volumes), which is the right granularity for Tbps-scale experiments and is
+// what per-flow IPFIX sees anyway.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "filter/rule.hpp"
+#include "net/flow.hpp"
+
+namespace stellar::filter {
+
+using RuleId = std::uint64_t;
+
+struct InstalledRule {
+  RuleId id = 0;
+  FilterRule rule;
+};
+
+/// Telemetry counters for one rule (paper: "traffic statistics about the
+/// discarded traffic should be made available").
+struct RuleCounters {
+  std::uint64_t matched_bytes = 0;    ///< Bytes classified into this rule.
+  std::uint64_t dropped_bytes = 0;    ///< Discarded (drop rule or shaper excess).
+  std::uint64_t delivered_bytes = 0;  ///< Passed on (shape rules only).
+
+  RuleCounters& operator+=(const RuleCounters& o) {
+    matched_bytes += o.matched_bytes;
+    dropped_bytes += o.dropped_bytes;
+    delivered_bytes += o.delivered_bytes;
+    return *this;
+  }
+};
+
+/// Ordered per-port rule list; first match wins (vendor ACL semantics).
+class QosPolicy {
+ public:
+  void add_rule(RuleId id, FilterRule rule);
+  /// Returns false if the id is not installed.
+  bool remove_rule(RuleId id);
+  /// First matching rule, or nullptr for default-forward.
+  [[nodiscard]] const InstalledRule* classify(const net::FlowKey& flow) const;
+  [[nodiscard]] std::size_t rule_count() const { return rules_.size(); }
+  [[nodiscard]] const std::vector<InstalledRule>& rules() const { return rules_; }
+
+ private:
+  std::vector<InstalledRule> rules_;
+};
+
+/// Outcome of pushing one time bin of egress demand through a port.
+struct PortBinResult {
+  double offered_mbps = 0.0;             ///< Total demand arriving at the port policy.
+  double delivered_mbps = 0.0;           ///< Left the member port.
+  double rule_dropped_mbps = 0.0;        ///< Discarded by drop rules.
+  double shaper_dropped_mbps = 0.0;      ///< Shaper-queue excess discarded.
+  double congestion_dropped_mbps = 0.0;  ///< Forward-queue overflow (port saturated).
+
+  /// Per-flow bytes that actually left the port (same keys as the demand,
+  /// zero-byte entries elided).
+  std::vector<net::FlowSample> delivered;
+
+  /// Telemetry deltas for this bin, keyed by rule id.
+  std::unordered_map<RuleId, RuleCounters> rule_counters;
+};
+
+/// Applies a port's egress policy to one bin of flow demands.
+/// `port_capacity_mbps` bounds the forwarding queue; shaped survivors compete
+/// with forwarded traffic for it (paper Fig. 8: shaping queue drains into the
+/// forwarding queue). Congestion loss is proportional (fluid tail-drop).
+[[nodiscard]] PortBinResult ApplyEgressQos(std::span<const net::FlowSample> demands,
+                                           const QosPolicy& policy, double port_capacity_mbps,
+                                           double bin_s);
+
+}  // namespace stellar::filter

@@ -1,0 +1,80 @@
+// L2-L4 match criteria and filter rules — the data-plane vocabulary of
+// Advanced Blackholing (paper §3.2: "a combination of L2-L4 header
+// information, including MAC and IP address, transport protocol, or TCP/UDP
+// port").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/flow.hpp"
+#include "net/ip.hpp"
+#include "net/mac.hpp"
+
+namespace stellar::filter {
+
+/// Identifies a member port on the IXP platform.
+using PortId = std::uint32_t;
+
+/// Inclusive L4 port range. A single port is [p, p].
+struct PortRange {
+  std::uint16_t lo = 0;
+  std::uint16_t hi = 0xffff;
+
+  static PortRange Single(std::uint16_t p) { return {p, p}; }
+  static PortRange Any() { return {0, 0xffff}; }
+  [[nodiscard]] bool contains(std::uint16_t p) const { return p >= lo && p <= hi; }
+  [[nodiscard]] bool is_wildcard() const { return lo == 0 && hi == 0xffff; }
+  [[nodiscard]] bool is_single() const { return lo == hi; }
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const PortRange&, const PortRange&) = default;
+};
+
+/// A conjunction of optional L2-L4 predicates. Unset fields are wildcards.
+struct MatchCriteria {
+  std::optional<net::MacAddress> src_mac;  ///< L2: traffic from a specific member router.
+  std::optional<net::Prefix4> src_prefix;
+  std::optional<net::Prefix4> dst_prefix;
+  std::optional<net::IpProto> proto;
+  std::optional<PortRange> src_port;
+  std::optional<PortRange> dst_port;
+
+  [[nodiscard]] bool matches(const net::FlowKey& flow) const;
+
+  /// Number of L3-L4 criteria this rule consumes in hardware (paper Fig. 9
+  /// x-axis: "L3-L4 filter criteria"). Each set L3/L4 predicate costs one
+  /// TCAM criterion; a port *range* that is not a single port or wildcard
+  /// costs one per range-expansion step (modeled as 2, the typical prefix
+  /// expansion cost for aligned ranges).
+  [[nodiscard]] int l3l4_criteria_count() const;
+
+  /// Number of MAC filter criteria consumed (Fig. 9 y-axis).
+  [[nodiscard]] int mac_criteria_count() const { return src_mac ? 1 : 0; }
+
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const MatchCriteria&, const MatchCriteria&) = default;
+};
+
+enum class FilterAction : std::uint8_t {
+  kForward,  ///< Explicit allow (used for exceptions ahead of broader rules).
+  kDrop,     ///< Zero-length queue: immediate discard.
+  kShape,    ///< Rate-limited queue: telemetry sample survives.
+};
+
+[[nodiscard]] std::string_view ToString(FilterAction a);
+
+/// A concrete data-plane filter rule as installed on a port.
+struct FilterRule {
+  MatchCriteria match;
+  FilterAction action = FilterAction::kDrop;
+  double shape_rate_mbps = 0.0;  ///< Only meaningful for kShape.
+
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const FilterRule&, const FilterRule&) = default;
+};
+
+}  // namespace stellar::filter

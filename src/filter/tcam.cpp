@@ -1,0 +1,75 @@
+#include "filter/tcam.hpp"
+
+#include <cassert>
+
+namespace stellar::filter {
+
+std::string_view ToString(TcamFailure f) {
+  switch (f) {
+    case TcamFailure::kNone: return "OK";
+    case TcamFailure::kL3L4PoolExhausted: return "F1";
+    case TcamFailure::kMacPoolExhausted: return "F2";
+    case TcamFailure::kPortL3L4LimitReached: return "F1-port";
+    case TcamFailure::kPortMacLimitReached: return "F2-port";
+  }
+  return "?";
+}
+
+TcamFailure Tcam::allocate(PortId port, const MatchCriteria& match) {
+  const std::int64_t l3l4 = match.l3l4_criteria_count();
+  const std::int64_t mac = match.mac_criteria_count();
+  PortUsage& usage = per_port_[port];
+
+  if (limits_.l3l4_criteria_pool > 0 && l3l4_used_ + l3l4 > limits_.l3l4_criteria_pool) {
+    return TcamFailure::kL3L4PoolExhausted;
+  }
+  if (limits_.per_port_l3l4_criteria > 0 &&
+      usage.l3l4 + l3l4 > limits_.per_port_l3l4_criteria) {
+    return TcamFailure::kPortL3L4LimitReached;
+  }
+  if (limits_.mac_filter_pool > 0 && mac_used_ + mac > limits_.mac_filter_pool) {
+    return TcamFailure::kMacPoolExhausted;
+  }
+  if (limits_.per_port_mac_filters > 0 && usage.mac + mac > limits_.per_port_mac_filters) {
+    return TcamFailure::kPortMacLimitReached;
+  }
+
+  l3l4_used_ += l3l4;
+  mac_used_ += mac;
+  usage.l3l4 += l3l4;
+  usage.mac += mac;
+  return TcamFailure::kNone;
+}
+
+void Tcam::release(PortId port, const MatchCriteria& match) {
+  const std::int64_t l3l4 = match.l3l4_criteria_count();
+  const std::int64_t mac = match.mac_criteria_count();
+  PortUsage& usage = per_port_[port];
+  assert(usage.l3l4 >= l3l4 && usage.mac >= mac && l3l4_used_ >= l3l4 && mac_used_ >= mac);
+  l3l4_used_ -= l3l4;
+  mac_used_ -= mac;
+  usage.l3l4 -= l3l4;
+  usage.mac -= mac;
+}
+
+std::int64_t Tcam::l3l4_in_use(PortId port) const {
+  const auto it = per_port_.find(port);
+  return it == per_port_.end() ? 0 : it->second.l3l4;
+}
+
+std::int64_t Tcam::mac_in_use(PortId port) const {
+  const auto it = per_port_.find(port);
+  return it == per_port_.end() ? 0 : it->second.mac;
+}
+
+double Tcam::l3l4_headroom() const {
+  if (limits_.l3l4_criteria_pool <= 0) return 1.0;
+  return 1.0 - static_cast<double>(l3l4_used_) / static_cast<double>(limits_.l3l4_criteria_pool);
+}
+
+double Tcam::mac_headroom() const {
+  if (limits_.mac_filter_pool <= 0) return 1.0;
+  return 1.0 - static_cast<double>(mac_used_) / static_cast<double>(limits_.mac_filter_pool);
+}
+
+}  // namespace stellar::filter

@@ -1,0 +1,81 @@
+// Ternary Content-Addressable Memory resource model (paper §5.1: "the TCAM
+// is used to implement matching header information in hardware. Its size and
+// update behavior constitute the main resource bottleneck of Stellar").
+//
+// Two shared pools model the edge router's hardware limits, matching the two
+// failure modes in Fig. 9:
+//   F1 — the chip-wide pool of L3-L4 filter criteria for QoS policies is
+//        exhausted,
+//   F2 — the chip-wide pool of MAC (L2) filter entries is exhausted.
+// Per-port limits (filters per port / line card) can additionally be set;
+// both kinds of exhaustion are reported distinctly so admission control can
+// react and the Fig. 9 bench can label the grid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "filter/rule.hpp"
+#include "util/result.hpp"
+
+namespace stellar::filter {
+
+struct TcamLimits {
+  /// Chip-wide pool of L3-L4 filter criteria (F1 when exceeded).
+  std::int64_t l3l4_criteria_pool = 0;
+  /// Chip-wide pool of MAC filter entries (F2 when exceeded).
+  std::int64_t mac_filter_pool = 0;
+  /// Per-port caps; 0 disables the per-port check.
+  std::int64_t per_port_l3l4_criteria = 0;
+  std::int64_t per_port_mac_filters = 0;
+};
+
+/// Outcome classification for admission control and the Fig. 9 grid.
+enum class TcamFailure : std::uint8_t {
+  kNone,
+  kL3L4PoolExhausted,     ///< F1
+  kMacPoolExhausted,      ///< F2
+  kPortL3L4LimitReached,
+  kPortMacLimitReached,
+};
+
+[[nodiscard]] std::string_view ToString(TcamFailure f);
+
+class Tcam {
+ public:
+  explicit Tcam(TcamLimits limits) : limits_(limits) {}
+
+  /// Attempts to reserve the hardware resources `match` needs on `port`.
+  /// On failure nothing is reserved and the failure kind is returned.
+  /// When both pools would be exhausted, F1 (L3-L4) is reported — the
+  /// scarcer, earlier-checked resource, matching Fig. 9's labeling.
+  TcamFailure allocate(PortId port, const MatchCriteria& match);
+
+  /// Releases a previous successful allocation for an identical criteria set.
+  /// Releasing more than was allocated is a caller bug (asserted).
+  void release(PortId port, const MatchCriteria& match);
+
+  [[nodiscard]] std::int64_t l3l4_in_use() const { return l3l4_used_; }
+  [[nodiscard]] std::int64_t mac_in_use() const { return mac_used_; }
+  [[nodiscard]] std::int64_t l3l4_in_use(PortId port) const;
+  [[nodiscard]] std::int64_t mac_in_use(PortId port) const;
+  [[nodiscard]] const TcamLimits& limits() const { return limits_; }
+
+  /// Headroom fractions for monitoring (1.0 = empty, 0.0 = full).
+  [[nodiscard]] double l3l4_headroom() const;
+  [[nodiscard]] double mac_headroom() const;
+
+ private:
+  struct PortUsage {
+    std::int64_t l3l4 = 0;
+    std::int64_t mac = 0;
+  };
+
+  TcamLimits limits_;
+  std::int64_t l3l4_used_ = 0;
+  std::int64_t mac_used_ = 0;
+  std::unordered_map<PortId, PortUsage> per_port_;
+};
+
+}  // namespace stellar::filter

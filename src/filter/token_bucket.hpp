@@ -1,0 +1,70 @@
+// Token bucket: used twice in the system, exactly as the paper does —
+//   1. the network manager's configuration-change queue (paper §4.4: "the
+//      queue uses a Token Bucket algorithm [...] Maximum Burst Size (MBS) and
+//      a reasonable long-term rate limit is never exceeded"), and
+//   2. data-plane traffic shaping in the QoS engine.
+//
+// Header-only; purely arithmetic over explicit timestamps so it works under
+// both the simulation clock and bench wall-clock sweeps.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+namespace stellar::filter {
+
+class TokenBucket {
+ public:
+  /// `rate` tokens accrue per second up to `burst` capacity. Starts full.
+  TokenBucket(double rate_per_s, double burst)
+      : rate_(rate_per_s), burst_(burst), tokens_(burst) {
+    assert(rate_per_s > 0.0 && burst > 0.0);
+  }
+
+  /// Consumes `n` tokens at time `now_s` if available. Time must be
+  /// monotonically non-decreasing across calls.
+  ///
+  /// The tolerance must absorb the rounding of `rate * (t2 - t1)` at large
+  /// absolute timestamps (~1e-11 tokens at t ~ 1e5 s); a stricter epsilon
+  /// deadlocks callers that sleep exactly until time_available() and then
+  /// consume — the wait rounds to zero and never makes progress.
+  bool try_consume(double n, double now_s) {
+    refill(now_s);
+    if (tokens_ + kEpsilon < n) return false;
+    tokens_ -= n;
+    return true;
+  }
+
+  /// Earliest absolute time at which `n` tokens will be available (may be
+  /// `now_s` itself). Does not consume. Requires n <= burst.
+  [[nodiscard]] double time_available(double n, double now_s) {
+    assert(n <= burst_ + 1e-9);
+    refill(now_s);
+    if (tokens_ + kEpsilon >= n) return now_s;
+    return now_s + (n - tokens_) / rate_;
+  }
+
+  [[nodiscard]] double tokens(double now_s) {
+    refill(now_s);
+    return tokens_;
+  }
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] double burst() const { return burst_; }
+
+ private:
+  static constexpr double kEpsilon = 1e-9;
+
+  void refill(double now_s) {
+    if (now_s > last_) {
+      tokens_ = std::min(burst_, tokens_ + (now_s - last_) * rate_);
+      last_ = now_s;
+    }
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_ = 0.0;
+};
+
+}  // namespace stellar::filter

@@ -1,0 +1,60 @@
+#include "ixp/fabric.hpp"
+
+#include <algorithm>
+
+namespace stellar::ixp {
+
+void Fabric::register_owner(const net::Prefix4& space, filter::PortId port) {
+  owners_.emplace_back(space, port);
+  std::sort(owners_.begin(), owners_.end(), [](const auto& a, const auto& b) {
+    return a.first.length() > b.first.length();
+  });
+}
+
+bool Fabric::lookup_egress(net::IPv4Address dst, filter::PortId& port_out) const {
+  for (const auto& [space, port] : owners_) {  // Sorted by specificity: LPM.
+    if (space.contains(dst)) {
+      port_out = port;
+      return true;
+    }
+  }
+  return false;
+}
+
+Fabric::BinReport Fabric::deliver(std::span<const net::FlowSample> offered, double bin_s) {
+  BinReport report;
+  std::map<filter::PortId, std::vector<net::FlowSample>> per_port_demand;
+
+  for (const auto& sample : offered) {
+    const double mbps = sample.mbps(bin_s);
+    report.offered_mbps += mbps;
+    filter::PortId egress = 0;
+    if (!lookup_egress(sample.key.dst_ip, egress)) {
+      report.unrouted_mbps += mbps;
+      continue;
+    }
+    if (ingress_blackhole_ && ingress_blackhole_(sample.key.src_mac, sample.key.dst_ip)) {
+      report.rtbh_dropped_mbps += mbps;
+      report.rtbh_dropped_peers.insert(sample.key.src_mac);
+      continue;
+    }
+    per_port_demand[egress].push_back(sample);
+  }
+
+  for (auto& [port, demand] : per_port_demand) {
+    // Ingress filtering mode applies the same policy before the platform:
+    // identical classification, but congestion is still evaluated at the
+    // member port (capacity is the member's either way).
+    filter::PortBinResult result = edge_router_.deliver(port, demand, bin_s);
+    report.delivered_mbps += result.delivered_mbps;
+    report.rule_dropped_mbps += result.rule_dropped_mbps;
+    report.shaper_dropped_mbps += result.shaper_dropped_mbps;
+    report.congestion_dropped_mbps += result.congestion_dropped_mbps;
+    report.delivered.insert(report.delivered.end(), result.delivered.begin(),
+                            result.delivered.end());
+    report.per_port.emplace(port, std::move(result));
+  }
+  return report;
+}
+
+}  // namespace stellar::ixp

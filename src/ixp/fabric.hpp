@@ -1,0 +1,71 @@
+// IXP switching fabric (data plane): L2 forwarding from member ingress to the
+// destination member's egress port, with
+//   - RTBH null-interface drops at *ingress* (traffic whose sending member
+//     routed the destination into the blackhole next-hop never crosses the
+//     platform), and
+//   - Stellar QoS policies applied at the *egress* member port (paper §4.5
+//     chooses egress filtering), including port-capacity congestion.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "filter/edge_router.hpp"
+#include "net/flow.hpp"
+
+namespace stellar::ixp {
+
+class Fabric {
+ public:
+  /// Predicate: does the sending member (identified by router MAC) blackhole
+  /// traffic towards dst? Wired to MemberRouter::blackholes.
+  using IngressBlackholeFn = std::function<bool(const net::MacAddress&, net::IPv4Address)>;
+
+  /// Where the platform filters: egress (paper's choice) or ingress
+  /// (the §4.5 "future work" variant for capacity-constrained platforms;
+  /// see bench/ablation_egress_vs_ingress).
+  enum class FilterLocation { kEgress, kIngress };
+
+  explicit Fabric(filter::EdgeRouter& edge_router,
+                  FilterLocation location = FilterLocation::kEgress)
+      : edge_router_(edge_router), location_(location) {}
+
+  /// Registers that `space` is reachable via `port` (the owning member).
+  void register_owner(const net::Prefix4& space, filter::PortId port);
+
+  void set_ingress_blackhole_fn(IngressBlackholeFn fn) { ingress_blackhole_ = std::move(fn); }
+
+  /// Longest-prefix-match owner lookup; returns false if unrouted.
+  [[nodiscard]] bool lookup_egress(net::IPv4Address dst, filter::PortId& port_out) const;
+
+  struct BinReport {
+    double offered_mbps = 0.0;
+    double unrouted_mbps = 0.0;            ///< No member owns the destination.
+    double rtbh_dropped_mbps = 0.0;        ///< Ingress null-interface drops.
+    double delivered_mbps = 0.0;
+    double rule_dropped_mbps = 0.0;        ///< Stellar drop rules.
+    double shaper_dropped_mbps = 0.0;      ///< Stellar shaper excess.
+    double congestion_dropped_mbps = 0.0;  ///< Member port overload.
+    /// Flows that actually reached members, after all filtering.
+    std::vector<net::FlowSample> delivered;
+    /// Per egress-port breakdown.
+    std::map<filter::PortId, filter::PortBinResult> per_port;
+    /// Distinct ingress members whose traffic was RTBH-dropped.
+    std::set<net::MacAddress> rtbh_dropped_peers;
+  };
+
+  /// Pushes one bin of offered traffic through the platform.
+  BinReport deliver(std::span<const net::FlowSample> offered, double bin_s);
+
+ private:
+  filter::EdgeRouter& edge_router_;
+  FilterLocation location_;
+  /// Owner table sorted by descending prefix length for LPM.
+  std::vector<std::pair<net::Prefix4, filter::PortId>> owners_;
+  IngressBlackholeFn ingress_blackhole_;
+};
+
+}  // namespace stellar::ixp

@@ -1,0 +1,54 @@
+#include "ixp/irr.hpp"
+
+namespace stellar::ixp {
+
+RpkiState RpkiValidator::validate(const net::Prefix4& prefix, bgp::Asn origin) const {
+  bool covered = false;
+  for (const auto& roa : roas_) {
+    if (!roa.prefix.contains(prefix)) continue;
+    covered = true;
+    if (roa.asn == origin && prefix.length() <= roa.max_length) return RpkiState::kValid;
+  }
+  return covered ? RpkiState::kInvalid : RpkiState::kNotFound;
+}
+
+BogonList BogonList::Standard() {
+  BogonList list;
+  for (const char* text : {
+           "0.0.0.0/8",        // "This" network (RFC 1122).
+           "10.0.0.0/8",       // Private (RFC 1918).
+           "100.64.0.0/10",    // CGN shared space (RFC 6598).
+           "127.0.0.0/8",      // Loopback.
+           "169.254.0.0/16",   // Link local (RFC 3927).
+           "172.16.0.0/12",    // Private (RFC 1918).
+           "192.0.0.0/24",     // IETF protocol assignments.
+           "192.0.2.0/24",     // TEST-NET-1 (RFC 5737).
+           "192.168.0.0/16",   // Private (RFC 1918).
+           "198.18.0.0/15",    // Benchmarking (RFC 2544).
+           "198.51.100.0/24",  // TEST-NET-2.
+           "203.0.113.0/24",   // TEST-NET-3.
+           "224.0.0.0/4",      // Multicast.
+           "240.0.0.0/4",      // Reserved.
+       }) {
+    list.add(net::Prefix4::Parse(text).value());
+  }
+  return list;
+}
+
+Bogon6List Bogon6List::Standard() {
+  Bogon6List list;
+  for (const char* text : {
+           "::/127",            // Unspecified + loopback.
+           "::ffff:0:0/96",     // IPv4-mapped.
+           "fe80::/10",         // Link local.
+           "fc00::/7",          // Unique local.
+           "2001:db8::/32",     // Documentation.
+           "ff00::/8",          // Multicast.
+           "3fff::/20",         // Documentation (RFC 9637).
+       }) {
+    list.add(net::Prefix6::Parse(text).value());
+  }
+  return list;
+}
+
+}  // namespace stellar::ixp

@@ -1,0 +1,105 @@
+// Routing hygiene databases consulted by the route server's import policy
+// (paper §4.3: "each member can only announce prefixes that are not in
+// conflict with Internet Route Registry databases (IRRs), BOGONS, and RPKI
+// validation").
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "bgp/types.hpp"
+#include "net/ip.hpp"
+
+namespace stellar::ixp {
+
+/// Internet Routing Registry: route objects authorizing an origin ASN to
+/// announce a prefix. A covering route object authorizes all more-specifics
+/// of its prefix for the same origin (this is how /32 blackhole routes out of
+/// a registered /24..../16 pass validation). Generic over the address family
+/// (route vs route6 objects).
+template <typename PrefixT>
+class BasicIrrDatabase {
+ public:
+  void add_route_object(const PrefixT& prefix, bgp::Asn origin) {
+    objects_.insert({prefix, origin});
+  }
+  void remove_route_object(const PrefixT& prefix, bgp::Asn origin) {
+    objects_.erase({prefix, origin});
+  }
+
+  /// True if some route object covers `prefix` with origin `asn`.
+  [[nodiscard]] bool authorized(const PrefixT& prefix, bgp::Asn asn) const {
+    for (const auto& [object_prefix, object_origin] : objects_) {
+      if (object_origin == asn && object_prefix.contains(prefix)) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t size() const { return objects_.size(); }
+
+ private:
+  std::set<std::pair<PrefixT, bgp::Asn>> objects_;
+};
+
+using IrrDatabase = BasicIrrDatabase<net::Prefix4>;
+using Irr6Database = BasicIrrDatabase<net::Prefix6>;
+
+/// RPKI Route Origin Authorization validation (RFC 6811 semantics).
+enum class RpkiState : std::uint8_t { kValid, kInvalid, kNotFound };
+
+class RpkiValidator {
+ public:
+  struct Roa {
+    net::Prefix4 prefix;
+    std::uint8_t max_length = 32;
+    bgp::Asn asn = 0;
+  };
+
+  void add_roa(Roa roa) { roas_.push_back(roa); }
+
+  /// RFC 6811: Valid if a covering ROA matches origin and maxLength;
+  /// Invalid if covering ROAs exist but none matches; NotFound otherwise.
+  [[nodiscard]] RpkiState validate(const net::Prefix4& prefix, bgp::Asn origin) const;
+
+  [[nodiscard]] std::size_t size() const { return roas_.size(); }
+
+ private:
+  std::vector<Roa> roas_;
+};
+
+/// Bogon prefixes that must never appear in inter-domain routing.
+template <typename PrefixT>
+class BasicBogonList {
+ public:
+  void add(const PrefixT& prefix) { bogons_.push_back(prefix); }
+
+  /// True if the prefix overlaps any bogon (equal, more- or less-specific).
+  [[nodiscard]] bool is_bogon(const PrefixT& prefix) const {
+    for (const auto& bogon : bogons_) {
+      if (bogon.contains(prefix) || prefix.contains(bogon)) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<PrefixT> bogons_;
+};
+
+class BogonList : public BasicBogonList<net::Prefix4> {
+ public:
+  /// Loads the standard full-bogon set (RFC 1122/1918/3927/5737/6598, loopback,
+  /// multicast, reserved).
+  static BogonList Standard();
+};
+
+class Bogon6List : public BasicBogonList<net::Prefix6> {
+ public:
+  /// Standard IPv6 bogons (loopback, link/site-local, documentation,
+  /// multicast, unallocated ::/3 edges). The RFC 6666 discard prefix
+  /// 100::/64 is deliberately absent: it is the blackhole next-hop.
+  static Bogon6List Standard();
+};
+
+}  // namespace stellar::ixp

@@ -1,0 +1,69 @@
+#include "ixp/looking_glass.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace stellar::ixp {
+
+std::vector<std::string> LookingGlass::show_route(const net::Prefix4& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& route : server_.adj_rib_in().routes_for(prefix)) {
+    std::ostringstream line;
+    line << prefix.str() << " via AS" << server_.member_asn_of_peer(route.peer);
+    if (route.attrs.next_hop) line << " next-hop " << route.attrs.next_hop->str();
+    if (!route.attrs.communities.empty()) {
+      line << " communities";
+      for (const auto& c : route.attrs.communities) line << ' ' << c.str();
+    }
+    if (!route.attrs.extended_communities.empty()) {
+      line << " extended";
+      for (const auto& ec : route.attrs.extended_communities) line << ' ' << ec.str();
+    }
+    out.push_back(line.str());
+  }
+  return out;
+}
+
+std::vector<std::string> LookingGlass::show_route6(const net::Prefix6& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& route : server_.adj_rib_in6().routes_for(prefix)) {
+    std::ostringstream line;
+    line << prefix.str() << " via AS" << server_.member_asn_of_peer(route.peer);
+    if (route.attrs.mp_reach_ipv6) {
+      line << " next-hop " << route.attrs.mp_reach_ipv6->next_hop.str();
+    }
+    if (!route.attrs.communities.empty()) {
+      line << " communities";
+      for (const auto& c : route.attrs.communities) line << ' ' << c.str();
+    }
+    out.push_back(line.str());
+  }
+  return out;
+}
+
+std::vector<std::string> LookingGlass::show_rib_summary() const {
+  std::map<net::Prefix4, std::size_t> paths_per_prefix;
+  server_.adj_rib_in().for_each(
+      [&](const bgp::Route& r) { ++paths_per_prefix[r.prefix]; });
+  std::vector<std::string> out;
+  for (const auto& [prefix, count] : paths_per_prefix) {
+    out.push_back(prefix.str() + " paths=" + std::to_string(count));
+  }
+  return out;
+}
+
+std::string LookingGlass::show_status() const {
+  std::ostringstream out;
+  out << "members=" << server_.member_count()
+      << " established=" << server_.established_member_sessions()
+      << " routes=" << server_.adj_rib_in().size()
+      << " routes6=" << server_.adj_rib_in6().size()
+      << " rejects{bogon=" << server_.rejects().bogon
+      << ", irr=" << server_.rejects().irr_unauthorized
+      << ", rpki=" << server_.rejects().rpki_invalid
+      << ", too_specific=" << server_.rejects().too_specific
+      << ", origin=" << server_.rejects().origin_mismatch << "}";
+  return out.str();
+}
+
+}  // namespace stellar::ixp

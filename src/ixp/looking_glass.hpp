@@ -1,0 +1,32 @@
+// Looking glass: the debugging interface members use against the route
+// server (paper §4.3: "members can rely on looking glasses for debugging").
+// Read-only textual queries over the route server's RIB.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ixp/route_server.hpp"
+
+namespace stellar::ixp {
+
+class LookingGlass {
+ public:
+  explicit LookingGlass(const RouteServer& server) : server_(server) {}
+
+  /// All paths the route server holds for a prefix, rendered like
+  /// "100.10.10.10/32 via AS65010 next-hop 10.0.1.1 communities 65535:666".
+  [[nodiscard]] std::vector<std::string> show_route(const net::Prefix4& prefix) const;
+  [[nodiscard]] std::vector<std::string> show_route6(const net::Prefix6& prefix) const;
+
+  /// Summary line per prefix in the RIB.
+  [[nodiscard]] std::vector<std::string> show_rib_summary() const;
+
+  /// Session / hygiene counters.
+  [[nodiscard]] std::string show_status() const;
+
+ private:
+  const RouteServer& server_;
+};
+
+}  // namespace stellar::ixp

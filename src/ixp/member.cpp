@@ -1,0 +1,183 @@
+#include "ixp/member.hpp"
+
+#include <stdexcept>
+
+namespace stellar::ixp {
+
+MemberRouter::MemberRouter(sim::EventQueue& queue, MemberInfo info,
+                           net::IPv4Address blackhole_next_hop,
+                           net::IPv6Address blackhole_next_hop6)
+    : queue_(queue),
+      info_(std::move(info)),
+      blackhole_next_hop_(blackhole_next_hop),
+      blackhole_next_hop6_(blackhole_next_hop6) {}
+
+void MemberRouter::connect(std::shared_ptr<bgp::Endpoint> transport) {
+  bgp::SessionConfig config;
+  config.local_asn = info_.asn;
+  config.router_id = info_.router_ip;
+  config.announce_ipv6_unicast = info_.address_space6.has_value();
+  session_ = std::make_unique<bgp::Session>(queue_, std::move(transport), config);
+  session_->set_update_handler([this](const bgp::UpdateMessage& u) { on_update(u); });
+  session_->start();
+}
+
+void MemberRouter::announce(const net::Prefix4& prefix, std::vector<bgp::Community> communities,
+                            std::vector<bgp::ExtendedCommunity> extended) {
+  if (!session_) throw std::logic_error("MemberRouter: connect() before announcing");
+  bgp::UpdateMessage update;
+  update.attrs.origin = bgp::Origin::kIgp;
+  update.attrs.as_path = {{bgp::AsPathSegment::Type::kSequence, {info_.asn}}};
+  update.attrs.next_hop = info_.router_ip;
+  update.attrs.communities = std::move(communities);
+  update.attrs.extended_communities = std::move(extended);
+  update.announced.push_back(bgp::Nlri4{0, prefix});
+  session_->announce(std::move(update));
+}
+
+void MemberRouter::withdraw(const net::Prefix4& prefix) {
+  if (!session_) throw std::logic_error("MemberRouter: connect() before announcing");
+  bgp::UpdateMessage update;
+  update.withdrawn.push_back(bgp::Nlri4{0, prefix});
+  session_->announce(std::move(update));
+}
+
+void MemberRouter::announce6(const net::Prefix6& prefix,
+                             std::vector<bgp::Community> communities,
+                             std::vector<bgp::ExtendedCommunity> extended) {
+  if (!session_) throw std::logic_error("MemberRouter: connect() before announcing");
+  bgp::UpdateMessage update;
+  update.attrs.origin = bgp::Origin::kIgp;
+  update.attrs.as_path = {{bgp::AsPathSegment::Type::kSequence, {info_.asn}}};
+  update.attrs.communities = std::move(communities);
+  update.attrs.extended_communities = std::move(extended);
+  bgp::MpReachIPv6 reach;
+  // Peering-LAN v6 next-hop derived from the member's v4 address
+  // (IPv4-mapped form keeps the simulation self-describing).
+  net::IPv6Address::Bytes nh{};
+  nh[10] = 0xff;
+  nh[11] = 0xff;
+  const std::uint32_t v4 = info_.router_ip.value();
+  nh[12] = static_cast<std::uint8_t>(v4 >> 24);
+  nh[13] = static_cast<std::uint8_t>(v4 >> 16);
+  nh[14] = static_cast<std::uint8_t>(v4 >> 8);
+  nh[15] = static_cast<std::uint8_t>(v4);
+  reach.next_hop = net::IPv6Address(nh);
+  reach.nlri.push_back(prefix);
+  update.attrs.mp_reach_ipv6 = std::move(reach);
+  session_->announce(std::move(update));
+}
+
+void MemberRouter::withdraw6(const net::Prefix6& prefix) {
+  if (!session_) throw std::logic_error("MemberRouter: connect() before announcing");
+  bgp::UpdateMessage update;
+  bgp::MpUnreachIPv6 unreach;
+  unreach.withdrawn.push_back(prefix);
+  update.attrs.mp_unreach_ipv6 = std::move(unreach);
+  session_->announce(std::move(update));
+}
+
+void MemberRouter::update_policy(MemberPolicy policy) {
+  info_.policy = policy;
+  if (!policy.accepts_more_specifics) {
+    // Tightened: evict more-specifics accepted under the old policy.
+    for (const auto& route : rib_.snapshot()) {
+      if (route.prefix.length() > 24) {
+        rib_.withdraw(route.prefix, route.peer, route.path_id);
+        blackholed_.erase(route.prefix);
+      }
+    }
+    for (const auto& route : rib6_.snapshot()) {
+      if (route.prefix.length() > 48) {
+        rib6_.withdraw(route.prefix, route.peer, route.path_id);
+        blackholed6_.erase(route.prefix);
+      }
+    }
+  }
+  if (session_ && session_->established()) {
+    // Relaxed (or unchanged): ask the route server to re-send everything so
+    // the new import policy sees routes it previously filtered.
+    session_->request_route_refresh(bgp::kAfiIPv4);
+    if (info_.address_space6) session_->request_route_refresh(bgp::kAfiIPv6);
+  }
+}
+
+bool MemberRouter::blackholes(net::IPv4Address dst) const {
+  // Longest-prefix-match semantics: the blackhole route is by construction
+  // the most specific route for its covered hosts, so containment suffices.
+  for (const auto& p : blackholed_) {
+    if (p.contains(dst)) return true;
+  }
+  return false;
+}
+
+bool MemberRouter::blackholes6(const net::IPv6Address& dst) const {
+  for (const auto& p : blackholed6_) {
+    if (p.contains(dst)) return true;
+  }
+  return false;
+}
+
+void MemberRouter::on_update(const bgp::UpdateMessage& update) {
+  for (const auto& nlri : update.withdrawn) {
+    rib_.withdraw(nlri.prefix, 0, nlri.path_id);
+    blackholed_.erase(nlri.prefix);
+  }
+  for (const auto& nlri : update.announced) {
+    // Default import filter: reject more-specifics than /24 (the blackhole
+    // adoption barrier) unless the member configured the exception.
+    if (nlri.prefix.length() > 24 && !info_.policy.accepts_more_specifics) {
+      ++rejected_more_specifics_;
+      continue;
+    }
+    bgp::Route route;
+    route.prefix = nlri.prefix;
+    route.peer = 0;
+    route.path_id = nlri.path_id;
+    route.attrs = update.attrs;
+    rib_.insert(std::move(route));
+
+    const bool is_blackhole_route = update.attrs.has_community(bgp::kBlackhole) &&
+                                    update.attrs.next_hop == blackhole_next_hop_;
+    if (is_blackhole_route && info_.policy.participates_in_rtbh) {
+      blackholed_.insert(nlri.prefix);
+    } else {
+      blackholed_.erase(nlri.prefix);
+    }
+  }
+
+  // IPv6 unicast via MP attributes. The default-config boundary is /48: the
+  // common inter-domain maximum, so /128 blackholes need the same explicit
+  // exception as v4 /32s.
+  if (update.attrs.mp_unreach_ipv6) {
+    for (const auto& prefix : update.attrs.mp_unreach_ipv6->withdrawn) {
+      rib6_.withdraw(prefix, 0, 0);
+      blackholed6_.erase(prefix);
+    }
+  }
+  if (update.attrs.mp_reach_ipv6) {
+    for (const auto& prefix : update.attrs.mp_reach_ipv6->nlri) {
+      if (prefix.length() > 48 && !info_.policy.accepts_more_specifics) {
+        ++rejected_more_specifics_;
+        continue;
+      }
+      bgp::Route6 route;
+      route.prefix = prefix;
+      route.peer = 0;
+      route.path_id = 0;
+      route.attrs = update.attrs;
+      rib6_.insert(std::move(route));
+
+      const bool is_blackhole_route =
+          update.attrs.has_community(bgp::kBlackhole) &&
+          update.attrs.mp_reach_ipv6->next_hop == blackhole_next_hop6_;
+      if (is_blackhole_route && info_.policy.participates_in_rtbh) {
+        blackholed6_.insert(prefix);
+      } else {
+        blackholed6_.erase(prefix);
+      }
+    }
+  }
+}
+
+}  // namespace stellar::ixp

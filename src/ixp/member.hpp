@@ -1,0 +1,110 @@
+// IXP member model: the descriptor the IXP registers (ASN, port, address
+// space, RTBH policy) plus the member-side BGP router that peers with the
+// route server.
+//
+// The router's import behaviour encodes the paper's central RTBH failure
+// mode (§2.4): ~70% of members do not honor blackhole announcements, mostly
+// because their default configuration rejects prefixes more specific than
+// /24 — honoring a /32 RTBH route requires an explicit exception.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bgp/rib.hpp"
+#include "bgp/session.hpp"
+#include "filter/tcam.hpp"
+#include "net/ip.hpp"
+#include "net/mac.hpp"
+#include "sim/event_queue.hpp"
+
+namespace stellar::ixp {
+
+struct MemberPolicy {
+  /// Member filters out routes more specific than /24 (IPv4) or /48 (IPv6)
+  /// — the default router config. Blackhole host routes are rejected by
+  /// such members.
+  bool accepts_more_specifics = false;
+  /// Member acts on the BLACKHOLE community by accepting the rewritten
+  /// next-hop (only effective if more-specifics are accepted too).
+  bool participates_in_rtbh = true;
+
+  /// A member honors RTBH only if both conditions hold.
+  [[nodiscard]] bool honors_rtbh() const {
+    return accepts_more_specifics && participates_in_rtbh;
+  }
+};
+
+struct MemberInfo {
+  bgp::Asn asn = 0;
+  std::string name;
+  filter::PortId port = 0;
+  double port_capacity_mbps = 10'000.0;
+  net::MacAddress mac;
+  net::IPv4Address router_ip;      ///< Peering-LAN address (BGP next-hop).
+  net::Prefix4 address_space;      ///< The prefix this member originates.
+  std::optional<net::Prefix6> address_space6;  ///< Optional IPv6 allocation.
+  MemberPolicy policy;
+};
+
+/// The member's border router facing the IXP: one eBGP session to the route
+/// server, a received-routes RIB, and the blackhole FIB consulted by the
+/// fabric at ingress.
+class MemberRouter {
+ public:
+  MemberRouter(sim::EventQueue& queue, MemberInfo info, net::IPv4Address blackhole_next_hop,
+               net::IPv6Address blackhole_next_hop6 = net::IPv6Address());
+
+  /// Attaches the transport to the route server and starts the session.
+  void connect(std::shared_ptr<bgp::Endpoint> transport);
+
+  /// Announces a prefix to the route server with optional communities.
+  void announce(const net::Prefix4& prefix, std::vector<bgp::Community> communities = {},
+                std::vector<bgp::ExtendedCommunity> extended = {});
+  void withdraw(const net::Prefix4& prefix);
+
+  /// IPv6 equivalents, carried in MP_REACH/MP_UNREACH (RFC 4760).
+  void announce6(const net::Prefix6& prefix, std::vector<bgp::Community> communities = {},
+                 std::vector<bgp::ExtendedCommunity> extended = {});
+  void withdraw6(const net::Prefix6& prefix);
+
+  /// Changes the member's import policy at runtime — the §2.4 remediation
+  /// story: an operator fixes the config that filtered /32 blackholes. Sends
+  /// a ROUTE-REFRESH so previously rejected routes are re-advertised and
+  /// re-evaluated; on tightening, now-forbidden routes are dropped locally.
+  void update_policy(MemberPolicy policy);
+
+  /// Ingress check used by the fabric: does this member's router currently
+  /// send traffic for `dst` into the blackhole next-hop?
+  [[nodiscard]] bool blackholes(net::IPv4Address dst) const;
+  [[nodiscard]] bool blackholes6(const net::IPv6Address& dst) const;
+
+  [[nodiscard]] const MemberInfo& info() const { return info_; }
+  [[nodiscard]] const bgp::Rib& rib() const { return rib_; }
+  [[nodiscard]] const bgp::Rib6& rib6() const { return rib6_; }
+  [[nodiscard]] bgp::Session* session() { return session_.get(); }
+  [[nodiscard]] const std::set<net::Prefix4>& blackholed_prefixes() const { return blackholed_; }
+  [[nodiscard]] const std::set<net::Prefix6>& blackholed6_prefixes() const {
+    return blackholed6_;
+  }
+  [[nodiscard]] std::uint64_t rejected_more_specifics() const { return rejected_more_specifics_; }
+
+ private:
+  void on_update(const bgp::UpdateMessage& update);
+
+  sim::EventQueue& queue_;
+  MemberInfo info_;
+  net::IPv4Address blackhole_next_hop_;
+  net::IPv6Address blackhole_next_hop6_;
+  std::unique_ptr<bgp::Session> session_;
+  bgp::Rib rib_;                       ///< Accepted routes from the route server.
+  bgp::Rib6 rib6_;
+  std::set<net::Prefix4> blackholed_;  ///< Prefixes routed into the blackhole.
+  std::set<net::Prefix6> blackholed6_;
+  std::uint64_t rejected_more_specifics_ = 0;
+};
+
+}  // namespace stellar::ixp

@@ -1,0 +1,426 @@
+#include "ixp/route_server.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stellar::ixp {
+
+namespace {
+/// ADD-PATH path-id assigned to routes from a member peer on the controller
+/// session: stable per peer, nonzero as RFC 7911 requires for sent paths.
+bgp::PathId ControllerPathId(bgp::PeerId peer) { return peer; }
+}  // namespace
+
+RouteServer::RouteServer(sim::EventQueue& queue, Config config)
+    : queue_(queue), config_(config) {
+  assert(config_.irr != nullptr && "route server requires an IRR database");
+}
+
+bgp::Community RouteServer::exclude_peer(bgp::Asn peer) const {
+  return bgp::Community(0, static_cast<std::uint16_t>(peer));
+}
+
+bgp::Community RouteServer::include_peer(bgp::Asn peer) const {
+  return bgp::Community(static_cast<std::uint16_t>(config_.asn),
+                        static_cast<std::uint16_t>(peer));
+}
+
+bgp::Community RouteServer::announce_to_none() const {
+  return bgp::Community(0, static_cast<std::uint16_t>(config_.asn));
+}
+
+std::shared_ptr<bgp::Endpoint> RouteServer::accept_member(bgp::Asn member_asn) {
+  auto [server_side, member_side] = bgp::MakeLink(queue_);
+  bgp::SessionConfig session_config;
+  session_config.local_asn = config_.asn;
+  session_config.router_id = config_.router_id;
+  session_config.announce_ipv6_unicast = config_.irr6 != nullptr;
+
+  members_.push_back(MemberPeer{member_asn, nullptr, {}, {}});
+  const bgp::PeerId peer = static_cast<bgp::PeerId>(members_.size());  // Index + 1.
+  auto session = std::make_unique<bgp::Session>(queue_, server_side, session_config);
+  session->set_update_handler(
+      [this, peer](const bgp::UpdateMessage& u) { on_member_update(peer, u); });
+  // Implicit withdraw (paper §4.2.1): a failed member session takes all of
+  // that member's routes — and thereby its blackholing signals — with it.
+  session->set_state_handler([this, peer](bgp::SessionState state) {
+    if (state == bgp::SessionState::kClosed) on_member_session_closed(peer);
+  });
+  session->set_refresh_handler([this, peer](const bgp::RouteRefreshMessage& refresh) {
+    on_member_refresh(peer, refresh);
+  });
+  session->start();
+  members_.back().session = std::move(session);
+  return member_side;
+}
+
+std::shared_ptr<bgp::Endpoint> RouteServer::accept_controller() {
+  auto [server_side, controller_side] = bgp::MakeLink(queue_);
+  bgp::SessionConfig session_config;
+  session_config.local_asn = config_.asn;  // iBGP: controller shares the IXP ASN.
+  session_config.router_id = config_.router_id;
+  session_config.add_path_tx = true;
+  controller_session_ = std::make_unique<bgp::Session>(queue_, server_side, session_config);
+  controller_session_->start();
+  // Initial RIB synchronization: queued updates flush on establishment.
+  rib_.for_each([this](const bgp::Route& route) { controller_announce(route); });
+  return controller_side;
+}
+
+std::size_t RouteServer::established_member_sessions() const {
+  std::size_t n = 0;
+  for (const auto& m : members_) {
+    if (m.session->established()) ++n;
+  }
+  return n;
+}
+
+bgp::Asn RouteServer::member_asn_of_peer(bgp::PeerId peer) const {
+  assert(peer >= 1 && peer <= members_.size());
+  return members_[peer - 1].asn;
+}
+
+void RouteServer::on_member_session_closed(bgp::PeerId peer) {
+  // Collect this peer's prefixes, drop them, withdraw them everywhere.
+  std::vector<net::Prefix4> touched;
+  rib_.for_each([&](const bgp::Route& route) {
+    if (route.peer == peer) touched.push_back(route.prefix);
+  });
+  if (rib_.withdraw_peer(peer) > 0) {
+    for (const auto& prefix : touched) {
+      controller_withdraw(prefix, peer);
+      reexport(prefix);
+    }
+  }
+  std::vector<net::Prefix6> touched6;
+  rib6_.for_each([&](const bgp::Route6& route) {
+    if (route.peer == peer) touched6.push_back(route.prefix);
+  });
+  if (rib6_.withdraw_peer(peer) > 0) {
+    for (const auto& prefix : touched6) reexport6(prefix);
+  }
+}
+
+void RouteServer::on_member_update(bgp::PeerId peer, const bgp::UpdateMessage& update) {
+  MemberPeer& from = members_[peer - 1];
+  std::vector<net::Prefix4> touched;
+
+  for (const auto& nlri : update.withdrawn) {
+    const auto existing = rib_.routes_for(nlri.prefix);
+    const bool was_blackhole =
+        std::any_of(existing.begin(), existing.end(), [&](const bgp::Route& r) {
+          return r.peer == peer && r.attrs.has_community(bgp::kBlackhole);
+        });
+    if (rib_.withdraw(nlri.prefix, peer)) {
+      touched.push_back(nlri.prefix);
+      controller_withdraw(nlri.prefix, peer);
+      if (was_blackhole) log_blackhole_event(from, nlri.prefix, update.attrs, /*withdrawn=*/true);
+    }
+  }
+
+  for (const auto& nlri : update.announced) {
+    if (!import_accept(from, nlri, update.attrs)) continue;
+    bgp::Route route;
+    route.prefix = nlri.prefix;
+    route.peer = peer;
+    route.path_id = 0;  // Members do not use ADD-PATH northbound.
+    route.attrs = update.attrs;
+    if (rib_.insert(route)) {
+      touched.push_back(nlri.prefix);
+      route.path_id = ControllerPathId(peer);
+      controller_announce(route);
+      if (update.attrs.has_community(bgp::kBlackhole)) {
+        log_blackhole_event(from, nlri.prefix, update.attrs, /*withdrawn=*/false);
+      }
+    }
+  }
+
+  for (const auto& prefix : touched) reexport(prefix);
+
+  // IPv6 unicast via MP attributes (only when the IXP runs an IRR6).
+  if (config_.irr6 != nullptr) {
+    std::vector<net::Prefix6> touched6;
+    if (update.attrs.mp_unreach_ipv6) {
+      for (const auto& prefix : update.attrs.mp_unreach_ipv6->withdrawn) {
+        const auto existing = rib6_.routes_for(prefix);
+        const bool was_blackhole =
+            std::any_of(existing.begin(), existing.end(), [&](const bgp::Route6& r) {
+              return r.peer == peer && r.attrs.has_community(bgp::kBlackhole);
+            });
+        if (rib6_.withdraw(prefix, peer)) {
+          touched6.push_back(prefix);
+          if (was_blackhole) {
+            events6_.push_back(
+                BlackholeEvent6{queue_.now().count(), from.asn, prefix, true});
+          }
+        }
+      }
+    }
+    if (update.attrs.mp_reach_ipv6) {
+      for (const auto& prefix : update.attrs.mp_reach_ipv6->nlri) {
+        if (!import_accept6(from, prefix, update.attrs)) continue;
+        bgp::Route6 route;
+        route.prefix = prefix;
+        route.peer = peer;
+        route.attrs = update.attrs;
+        if (rib6_.insert(route)) {
+          touched6.push_back(prefix);
+          if (update.attrs.has_community(bgp::kBlackhole)) {
+            events6_.push_back(
+                BlackholeEvent6{queue_.now().count(), from.asn, prefix, false});
+          }
+        }
+      }
+    }
+    for (const auto& prefix : touched6) reexport6(prefix);
+  }
+}
+
+bool RouteServer::import_accept(const MemberPeer& from, const bgp::Nlri4& nlri,
+                                const bgp::PathAttributes& attrs) {
+  const net::Prefix4& prefix = nlri.prefix;
+  // The announcing member must originate the path (no route-server leaks).
+  const auto origin = attrs.origin_asn();
+  if (!origin || *origin != from.asn) {
+    ++rejects_.origin_mismatch;
+    return false;
+  }
+  if (config_.bogons != nullptr && config_.bogons->is_bogon(prefix)) {
+    ++rejects_.bogon;
+    return false;
+  }
+  if (!config_.irr->authorized(prefix, from.asn)) {
+    ++rejects_.irr_unauthorized;
+    return false;
+  }
+  if (config_.rpki != nullptr &&
+      config_.rpki->validate(prefix, from.asn) == RpkiState::kInvalid) {
+    ++rejects_.rpki_invalid;
+    return false;
+  }
+  // More-specifics than /24 are only meaningful as blackholing requests
+  // (standard or Advanced, the latter marked by IXP extended communities).
+  if (prefix.length() > 24) {
+    const bool advanced =
+        std::any_of(attrs.extended_communities.begin(), attrs.extended_communities.end(),
+                    [this](const bgp::ExtendedCommunity& ec) {
+                      return ec.as_number() == static_cast<std::uint16_t>(config_.asn);
+                    }) ||
+        std::any_of(attrs.large_communities.begin(), attrs.large_communities.end(),
+                    [this](const bgp::LargeCommunity& lc) {
+                      return lc.global_admin == config_.asn;
+                    });
+    if (!attrs.has_community(bgp::kBlackhole) && !advanced) {
+      ++rejects_.too_specific;
+      return false;
+    }
+  }
+  return true;
+}
+
+void RouteServer::log_blackhole_event(const MemberPeer& from, const net::Prefix4& prefix,
+                                      const bgp::PathAttributes& attrs, bool withdrawn) {
+  BlackholeEvent ev;
+  ev.time_s = queue_.now().count();
+  ev.member = from.asn;
+  ev.prefix = prefix;
+  ev.withdrawn = withdrawn;
+  for (const auto& c : attrs.communities) {
+    if (c == announce_to_none()) {
+      ev.announce_to_none = true;
+    } else if (c.asn() == 0 && c.value() != 0 && c.value() != config_.asn) {
+      ++ev.excluded_peers;
+    } else if (c.asn() == static_cast<std::uint16_t>(config_.asn) && c.value() != 0 &&
+               c != bgp::kBlackhole) {
+      ++ev.included_peers;
+    }
+  }
+  events_.push_back(ev);
+}
+
+void RouteServer::reexport(const net::Prefix4& prefix) {
+  for (std::size_t i = 0; i < members_.size(); ++i) reexport_to(i, prefix);
+}
+
+void RouteServer::reexport_to(std::size_t member_index, const net::Prefix4& prefix) {
+  MemberPeer& target = members_[member_index];
+  const bgp::PeerId target_peer = static_cast<bgp::PeerId>(member_index + 1);
+  const auto routes = rib_.routes_for(prefix);
+
+  // Best eligible route for this peer (not its own, scope allows).
+  const bgp::Route* best = nullptr;
+  for (const auto& r : routes) {
+    if (r.peer == target_peer) continue;
+    if (!eligible(r.attrs, target.asn)) continue;
+    if (best == nullptr || bgp::BetterPath(r, *best)) best = &r;
+  }
+
+  const auto exported = target.exported.find(prefix);
+  if (best == nullptr) {
+    if (exported != target.exported.end()) {
+      target.exported.erase(exported);
+      bgp::UpdateMessage update;
+      update.withdrawn.push_back(bgp::Nlri4{0, prefix});
+      target.session->announce(std::move(update));
+    }
+    return;
+  }
+  bgp::PathAttributes out = member_export_attrs(best->attrs);
+  if (exported != target.exported.end() && exported->second == out) return;
+  target.exported[prefix] = out;
+  bgp::UpdateMessage update;
+  update.attrs = std::move(out);
+  update.announced.push_back(bgp::Nlri4{0, prefix});
+  target.session->announce(std::move(update));
+}
+
+void RouteServer::on_member_refresh(bgp::PeerId peer, const bgp::RouteRefreshMessage& refresh) {
+  MemberPeer& target = members_[peer - 1];
+  if (refresh.afi == bgp::kAfiIPv4) {
+    // Forget what was exported so everything eligible is re-sent, letting the
+    // member's (possibly changed) import policy re-evaluate each route.
+    target.exported.clear();
+    for (const auto& prefix : rib_.prefixes()) reexport_to(peer - 1, prefix);
+  } else if (refresh.afi == bgp::kAfiIPv6) {
+    target.exported6.clear();
+    for (const auto& prefix : rib6_.prefixes()) reexport_to6(peer - 1, prefix);
+  }
+}
+
+bool RouteServer::eligible(const bgp::PathAttributes& attrs, bgp::Asn target) const {
+  if (attrs.has_community(bgp::kNoAdvertise)) return false;
+  if (attrs.has_community(announce_to_none())) {
+    return attrs.has_community(include_peer(target));
+  }
+  return !attrs.has_community(exclude_peer(target));
+}
+
+bgp::PathAttributes RouteServer::member_export_attrs(const bgp::PathAttributes& attrs) const {
+  bgp::PathAttributes out = attrs;
+  // Strip scope-control communities: they are instructions to the route
+  // server, not information for peers.
+  std::erase_if(out.communities, [this](bgp::Community c) {
+    if (c == bgp::kBlackhole) return false;
+    return c.asn() == 0 || c.asn() == static_cast<std::uint16_t>(config_.asn);
+  });
+  // Strip Stellar signaling communities (IXP namespace, both encodings).
+  std::erase_if(out.extended_communities, [this](const bgp::ExtendedCommunity& ec) {
+    return ec.as_number() == static_cast<std::uint16_t>(config_.asn);
+  });
+  std::erase_if(out.large_communities, [this](const bgp::LargeCommunity& lc) {
+    return lc.global_admin == config_.asn;
+  });
+  // Classic RTBH: rewrite the next-hop so accepting members route the prefix
+  // into the IXP's null interface.
+  if (attrs.has_community(bgp::kBlackhole)) {
+    out.next_hop = config_.blackhole_next_hop;
+    out.add_community(bgp::kNoExport);
+  }
+  return out;
+}
+
+bool RouteServer::import_accept6(const MemberPeer& from, const net::Prefix6& prefix,
+                                 const bgp::PathAttributes& attrs) {
+  const auto origin = attrs.origin_asn();
+  if (!origin || *origin != from.asn) {
+    ++rejects_.origin_mismatch;
+    return false;
+  }
+  if (config_.bogons6 != nullptr && config_.bogons6->is_bogon(prefix)) {
+    ++rejects_.bogon;
+    return false;
+  }
+  if (config_.irr6 == nullptr || !config_.irr6->authorized(prefix, from.asn)) {
+    ++rejects_.irr_unauthorized;
+    return false;
+  }
+  // More-specifics than /48 are only meaningful as blackholing requests.
+  if (prefix.length() > 48) {
+    const bool advanced =
+        std::any_of(attrs.extended_communities.begin(), attrs.extended_communities.end(),
+                    [this](const bgp::ExtendedCommunity& ec) {
+                      return ec.as_number() == static_cast<std::uint16_t>(config_.asn);
+                    }) ||
+        std::any_of(attrs.large_communities.begin(), attrs.large_communities.end(),
+                    [this](const bgp::LargeCommunity& lc) {
+                      return lc.global_admin == config_.asn;
+                    });
+    if (!attrs.has_community(bgp::kBlackhole) && !advanced) {
+      ++rejects_.too_specific;
+      return false;
+    }
+  }
+  return true;
+}
+
+void RouteServer::reexport6(const net::Prefix6& prefix) {
+  for (std::size_t i = 0; i < members_.size(); ++i) reexport_to6(i, prefix);
+}
+
+void RouteServer::reexport_to6(std::size_t member_index, const net::Prefix6& prefix) {
+  MemberPeer& target = members_[member_index];
+  const bgp::PeerId target_peer = static_cast<bgp::PeerId>(member_index + 1);
+  const auto routes = rib6_.routes_for(prefix);
+
+  const bgp::Route6* best = nullptr;
+  for (const auto& r : routes) {
+    if (r.peer == target_peer) continue;
+    if (!eligible(r.attrs, target.asn)) continue;
+    if (best == nullptr || bgp::BetterPath(r, *best)) best = &r;
+  }
+
+  const auto exported = target.exported6.find(prefix);
+  if (best == nullptr) {
+    if (exported != target.exported6.end()) {
+      target.exported6.erase(exported);
+      bgp::UpdateMessage update;
+      bgp::MpUnreachIPv6 unreach;
+      unreach.withdrawn.push_back(prefix);
+      update.attrs.mp_unreach_ipv6 = std::move(unreach);
+      target.session->announce(std::move(update));
+    }
+    return;
+  }
+  bgp::PathAttributes out = member_export_attrs6(best->attrs, prefix);
+  if (exported != target.exported6.end() && exported->second == out) return;
+  target.exported6[prefix] = out;
+  bgp::UpdateMessage update;
+  update.attrs = std::move(out);
+  target.session->announce(std::move(update));
+}
+
+bgp::PathAttributes RouteServer::member_export_attrs6(const bgp::PathAttributes& attrs,
+                                                      const net::Prefix6& prefix) const {
+  bgp::PathAttributes out = member_export_attrs(attrs);
+  // member_export_attrs rewrote the (unused) v4 next-hop; the v6 route's
+  // actual forwarding state lives in MP_REACH.
+  out.next_hop.reset();
+  out.mp_unreach_ipv6.reset();
+  bgp::MpReachIPv6 reach;
+  reach.next_hop = attrs.has_community(bgp::kBlackhole)
+                       ? config_.blackhole_next_hop6
+                       : attrs.mp_reach_ipv6 ? attrs.mp_reach_ipv6->next_hop
+                                             : net::IPv6Address();
+  reach.nlri = {prefix};
+  out.mp_reach_ipv6 = std::move(reach);
+  return out;
+}
+
+void RouteServer::controller_announce(const bgp::Route& route) {
+  if (!controller_session_) return;
+  bgp::UpdateMessage update;
+  update.attrs = route.attrs;
+  update.announced.push_back(
+      bgp::Nlri4{route.path_id != 0 ? route.path_id : ControllerPathId(route.peer),
+                 route.prefix});
+  controller_session_->announce(std::move(update));
+}
+
+void RouteServer::controller_withdraw(const net::Prefix4& prefix, bgp::PeerId peer) {
+  if (!controller_session_) return;
+  bgp::UpdateMessage update;
+  update.withdrawn.push_back(bgp::Nlri4{ControllerPathId(peer), prefix});
+  controller_session_->announce(std::move(update));
+}
+
+}  // namespace stellar::ixp

@@ -1,0 +1,162 @@
+// IXP route server (paper §2.1, §4.3): multilateral peering hub, import
+// hygiene (IRR / RPKI / bogons), scope-control ("action") communities,
+// classic RTBH blackhole handling with next-hop rewriting, and the ADD-PATH
+// iBGP southbound session feeding the Stellar blackholing controller.
+//
+// Key property inherited by Stellar (paper §4.3): "as opposed to RTBH, the
+// route server does not reflect [Advanced Blackholing] signals back to the
+// other members" — signals addressed to the IXP itself (announce-to-none)
+// still reach the controller session, which receives *every* accepted path
+// with a distinct ADD-PATH path-id.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bgp/rib.hpp"
+#include "bgp/session.hpp"
+#include "ixp/irr.hpp"
+#include "net/ip.hpp"
+#include "sim/event_queue.hpp"
+
+namespace stellar::ixp {
+
+class RouteServer {
+ public:
+  struct Config {
+    bgp::Asn asn = 64500;  ///< The IXP's ASN (route server + community namespace).
+    net::IPv4Address router_id{net::IPv4Address(10, 99, 0, 1)};
+    net::IPv4Address blackhole_next_hop{net::IPv4Address(10, 99, 0, 66)};
+    /// RFC 6666 discard-only prefix: 100::1.
+    net::IPv6Address blackhole_next_hop6{DiscardOnlyV6()};
+    const IrrDatabase* irr = nullptr;       ///< Required: prefix-ownership checks.
+    const Irr6Database* irr6 = nullptr;     ///< Optional: enables IPv6 announcements.
+    const RpkiValidator* rpki = nullptr;    ///< Optional: RPKI invalid => reject.
+    const BogonList* bogons = nullptr;      ///< Optional: bogon announcements => reject.
+    const Bogon6List* bogons6 = nullptr;
+
+    /// 100::1 inside the RFC 6666 discard-only block.
+    static net::IPv6Address DiscardOnlyV6() {
+      net::IPv6Address::Bytes b{};
+      b[0] = 0x01;
+      b[15] = 0x01;
+      return net::IPv6Address(b);
+    }
+  };
+
+  struct RejectStats {
+    std::uint64_t bogon = 0;
+    std::uint64_t irr_unauthorized = 0;
+    std::uint64_t rpki_invalid = 0;
+    std::uint64_t too_specific = 0;      ///< > /24 without a blackhole community.
+    std::uint64_t origin_mismatch = 0;   ///< AS path origin != announcing member.
+
+    [[nodiscard]] std::uint64_t total() const {
+      return bogon + irr_unauthorized + rpki_invalid + too_specific + origin_mismatch;
+    }
+  };
+
+  /// One accepted blackhole announcement, logged for the Fig. 3b analysis of
+  /// how members scope their RTBH requests.
+  struct BlackholeEvent {
+    double time_s = 0.0;
+    bgp::Asn member = 0;
+    net::Prefix4 prefix;
+    int excluded_peers = 0;   ///< "All-k": number of (0:peer) exclusions.
+    int included_peers = 0;   ///< Explicit (ixp:peer) inclusions.
+    bool announce_to_none = false;  ///< (0:ixp_asn) present.
+    bool withdrawn = false;
+  };
+
+  /// IPv6 blackholing events (paper footnote 4: <1% of blackholing traffic,
+  /// but the mechanism is AFI-agnostic).
+  struct BlackholeEvent6 {
+    double time_s = 0.0;
+    bgp::Asn member = 0;
+    net::Prefix6 prefix;
+    bool withdrawn = false;
+  };
+
+  RouteServer(sim::EventQueue& queue, Config config);
+
+  /// Creates the server side of a member eBGP session and returns the
+  /// transport endpoint the member router should connect to.
+  std::shared_ptr<bgp::Endpoint> accept_member(bgp::Asn member_asn);
+
+  /// Creates the southbound iBGP+ADD-PATH session and returns the endpoint
+  /// for the blackholing controller. All currently accepted routes are
+  /// queued for initial synchronization.
+  std::shared_ptr<bgp::Endpoint> accept_controller();
+
+  // -- Scope-control community helpers (IXP community namespace) ------------
+  /// (0:peer) — do not announce to `peer`.
+  [[nodiscard]] bgp::Community exclude_peer(bgp::Asn peer) const;
+  /// (ixp:peer) — announce to `peer` (with announce-to-none, an allowlist).
+  [[nodiscard]] bgp::Community include_peer(bgp::Asn peer) const;
+  /// (0:ixp) — announce to no member (the Stellar-style "IXP only" scope).
+  [[nodiscard]] bgp::Community announce_to_none() const;
+
+  // -- Introspection ----------------------------------------------------------
+  [[nodiscard]] const bgp::Rib& adj_rib_in() const { return rib_; }
+  [[nodiscard]] const bgp::Rib6& adj_rib_in6() const { return rib6_; }
+  [[nodiscard]] const RejectStats& rejects() const { return rejects_; }
+  [[nodiscard]] const std::vector<BlackholeEvent>& blackhole_events() const { return events_; }
+  [[nodiscard]] const std::vector<BlackholeEvent6>& blackhole_events6() const {
+    return events6_;
+  }
+  [[nodiscard]] std::size_t member_count() const { return members_.size(); }
+  [[nodiscard]] std::size_t established_member_sessions() const;
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] bgp::Asn member_asn_of_peer(bgp::PeerId peer) const;
+
+ private:
+  struct MemberPeer {
+    bgp::Asn asn = 0;
+    std::unique_ptr<bgp::Session> session;
+    /// Last attributes exported to this peer, per prefix (empty = withdrawn).
+    std::map<net::Prefix4, bgp::PathAttributes> exported;
+    std::map<net::Prefix6, bgp::PathAttributes> exported6;
+  };
+
+  void on_member_update(bgp::PeerId peer, const bgp::UpdateMessage& update);
+  /// Implicit withdraw on session failure: every route of the dead peer is
+  /// removed and withdrawn from members and the controller.
+  void on_member_session_closed(bgp::PeerId peer);
+  [[nodiscard]] bool import_accept(const MemberPeer& from, const bgp::Nlri4& nlri,
+                                   const bgp::PathAttributes& attrs);
+  void log_blackhole_event(const MemberPeer& from, const net::Prefix4& prefix,
+                           const bgp::PathAttributes& attrs, bool withdrawn);
+  void reexport(const net::Prefix4& prefix);
+  /// ROUTE-REFRESH from a member: clears the per-peer Adj-RIB-Out bookkeeping
+  /// for the AFI and re-sends every eligible route.
+  void on_member_refresh(bgp::PeerId peer, const bgp::RouteRefreshMessage& refresh);
+  void reexport_to(std::size_t member_index, const net::Prefix4& prefix);
+  void reexport_to6(std::size_t member_index, const net::Prefix6& prefix);
+  [[nodiscard]] bool import_accept6(const MemberPeer& from, const net::Prefix6& prefix,
+                                    const bgp::PathAttributes& attrs);
+  void reexport6(const net::Prefix6& prefix);
+  /// True if a route with these attributes may be exported to `target`.
+  [[nodiscard]] bool eligible(const bgp::PathAttributes& attrs, bgp::Asn target) const;
+  /// Attributes as exported to members: scope communities stripped, blackhole
+  /// next-hop rewritten, Stellar extended communities removed.
+  [[nodiscard]] bgp::PathAttributes member_export_attrs(const bgp::PathAttributes& attrs) const;
+  [[nodiscard]] bgp::PathAttributes member_export_attrs6(const bgp::PathAttributes& attrs,
+                                                         const net::Prefix6& prefix) const;
+  void controller_announce(const bgp::Route& route);
+  void controller_withdraw(const net::Prefix4& prefix, bgp::PeerId peer);
+
+  sim::EventQueue& queue_;
+  Config config_;
+  std::vector<MemberPeer> members_;  ///< PeerId = index + 1.
+  bgp::Rib rib_;                     ///< All accepted member routes.
+  bgp::Rib6 rib6_;
+  std::unique_ptr<bgp::Session> controller_session_;
+  RejectStats rejects_;
+  std::vector<BlackholeEvent> events_;
+  std::vector<BlackholeEvent6> events6_;
+};
+
+}  // namespace stellar::ixp

@@ -1,0 +1,29 @@
+#include "mitigation/acl.hpp"
+
+namespace stellar::mitigation {
+
+void MemberAclFilter::add_rule(double now_s, filter::FilterRule rule) {
+  pending_.push_back(TimedRule{now_s + deploy_latency_s_, next_id_++, std::move(rule)});
+}
+
+filter::PortBinResult MemberAclFilter::apply(double now_s,
+                                             std::span<const net::FlowSample> delivered,
+                                             double bin_s) const {
+  filter::QosPolicy policy;
+  for (const auto& timed : pending_) {
+    if (timed.active_from_s <= now_s) policy.add_rule(timed.id, timed.rule);
+  }
+  // The member's internal links are provisioned for its port rate; apply with
+  // effectively unlimited capacity — congestion was the IXP port's problem.
+  return ApplyEgressQos(delivered, policy, 1e9, bin_s);
+}
+
+std::size_t MemberAclFilter::rule_count(double now_s) const {
+  std::size_t n = 0;
+  for (const auto& timed : pending_) {
+    if (timed.active_from_s <= now_s) ++n;
+  }
+  return n;
+}
+
+}  // namespace stellar::mitigation

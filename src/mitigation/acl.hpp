@@ -1,0 +1,48 @@
+// ACL-filter baseline (paper §1.1): the victim deploys policy-based filters
+// at its *own* border router — i.e. after traffic has already crossed its
+// (possibly congested) IXP port. The filters themselves are as expressive as
+// Stellar's, but they cannot protect the port: "given that the filtering
+// location is beyond the ingress points of the network, the bandwidth to a
+// neighbor AS can still be exhausted."
+#pragma once
+
+#include <span>
+
+#include "filter/qos.hpp"
+
+namespace stellar::mitigation {
+
+class MemberAclFilter {
+ public:
+  /// `deploy_latency_s`: time from decision to filters being active — ACLs
+  /// are configured by the member's NOC, not signaled in-band.
+  explicit MemberAclFilter(double deploy_latency_s = 300.0)
+      : deploy_latency_s_(deploy_latency_s) {}
+
+  /// Requests a filter at time `now_s`; it becomes active after the
+  /// deployment latency.
+  void add_rule(double now_s, filter::FilterRule rule);
+  void clear() { pending_.clear(); }
+
+  /// Applies all rules active at `now_s` to traffic that already traversed
+  /// the member's IXP port. Port congestion has already happened upstream.
+  [[nodiscard]] filter::PortBinResult apply(double now_s,
+                                            std::span<const net::FlowSample> delivered,
+                                            double bin_s) const;
+
+  [[nodiscard]] double deploy_latency_s() const { return deploy_latency_s_; }
+  [[nodiscard]] std::size_t rule_count(double now_s) const;
+
+ private:
+  struct TimedRule {
+    double active_from_s;
+    filter::RuleId id;
+    filter::FilterRule rule;
+  };
+
+  double deploy_latency_s_;
+  std::vector<TimedRule> pending_;
+  filter::RuleId next_id_ = 1;
+};
+
+}  // namespace stellar::mitigation

@@ -1,0 +1,418 @@
+#include "mitigation/comparison.hpp"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include "core/stellar.hpp"
+#include "mitigation/acl.hpp"
+#include "mitigation/flowspec_deploy.hpp"
+#include "mitigation/rtbh.hpp"
+#include "mitigation/scrubbing.hpp"
+#include "net/ports.hpp"
+#include "traffic/generators.hpp"
+#include "util/ascii.hpp"
+
+namespace stellar::mitigation {
+
+namespace {
+
+constexpr bgp::Asn kVictimAsn = 63'000;
+
+bool IsAttackFlow(const net::FlowKey& key) {
+  return key.proto == net::IpProto::kUdp && key.src_port == net::kPortNtp;
+}
+
+/// Per-bin accounting of what reached the victim.
+struct RunResult {
+  std::vector<double> times;
+  std::vector<double> attack_delivered_mbps;
+  std::vector<double> benign_delivered_mbps;
+  std::vector<double> attack_offered_mbps;
+  std::vector<double> benign_offered_mbps;
+  double tss_cost = 0.0;
+  /// Trigger -> the technique's filters observably active (inf: never).
+  double activation_s = std::numeric_limits<double>::infinity();
+};
+
+enum class Technique { kNone, kRtbh, kAcl, kTss, kFlowspec, kAdvancedBlackholing };
+
+RunResult RunScenario(Technique technique, const ComparisonConfig& config) {
+  sim::EventQueue queue;
+  ixp::LargeIxpParams params;
+  params.member_count = config.members;
+  params.rtbh_honor_fraction = config.rtbh_honor_fraction;
+  params.seed = config.seed;
+  auto ixp = ixp::MakeLargeIxp(queue, params);
+
+  ixp::MemberSpec victim_spec;
+  victim_spec.asn = kVictimAsn;
+  victim_spec.name = "victim";
+  victim_spec.port_capacity_mbps = config.victim_port_mbps;
+  victim_spec.address_space = net::Prefix4::Parse("100.10.10.0/24").value();
+  auto& victim = ixp->add_member(victim_spec);
+  ixp->settle(60.0);
+
+  const net::IPv4Address target(100, 10, 10, 10);
+  const net::Prefix4 target_host = net::Prefix4::HostRoute(target);
+  auto sources = ixp->source_members(kVictimAsn);
+
+  traffic::WebTrafficGenerator::Config web_config;
+  web_config.target = target;
+  web_config.rate_mbps = config.benign_mbps;
+  traffic::WebTrafficGenerator web(web_config, sources, config.seed + 1);
+
+  auto attack_config = traffic::BooterNtpAttack(target, config.attack_peak_mbps,
+                                                config.attack_start_s, config.duration_s);
+  traffic::AmplificationAttackGenerator attack(attack_config, sources, config.seed + 2);
+
+  // Technique state.
+  std::unique_ptr<core::StellarSystem> stellar_system;
+  if (technique == Technique::kAdvancedBlackholing) {
+    stellar_system = std::make_unique<core::StellarSystem>(*ixp);
+  }
+  MemberAclFilter acl(300.0);
+  ScrubbingService tss(ScrubbingService::Config{});
+  InterdomainFlowspec flowspec(
+      [&] {
+        std::vector<bgp::Asn> peers;
+        for (const auto& m : ixp->members()) {
+          if (m->info().asn != kVictimAsn) peers.push_back(m->info().asn);
+        }
+        return peers;
+      }(),
+      config.flowspec_acceptance, config.seed + 3);
+
+  bool triggered = false;
+  bool tss_active = false;
+  double tss_active_from = 0.0;
+
+  // Scenario time is relative to the end of setup: the IXP build-out already
+  // advanced the simulation clock.
+  const double base = queue.now().count();
+
+  RunResult result;
+  for (double t = 0.0; t < config.duration_s; t += config.bin_s) {
+    queue.run_until(sim::Seconds(base + t));
+
+    if (!triggered && t >= config.mitigation_trigger_s) {
+      triggered = true;
+      switch (technique) {
+        case Technique::kNone:
+          break;
+        case Technique::kRtbh:
+          TriggerRtbh(victim, target_host);
+          break;
+        case Technique::kAcl: {
+          filter::FilterRule rule;
+          rule.match.dst_prefix = target_host;
+          rule.match.proto = net::IpProto::kUdp;
+          rule.match.src_port = filter::PortRange::Single(net::kPortNtp);
+          rule.action = filter::FilterAction::kDrop;
+          acl.add_rule(t, rule);
+          break;
+        }
+        case Technique::kTss:
+          tss_active_from = t + tss.config().subscription_setup_s;
+          tss_active = true;
+          break;
+        case Technique::kFlowspec: {
+          bgp::flowspec::Rule rule;
+          rule.components.push_back({bgp::flowspec::ComponentType::kDstPrefix, target_host, {}});
+          rule.components.push_back({bgp::flowspec::ComponentType::kIpProtocol,
+                                     {},
+                                     {bgp::flowspec::Eq(17)}});
+          rule.components.push_back({bgp::flowspec::ComponentType::kSrcPort,
+                                     {},
+                                     {bgp::flowspec::Eq(net::kPortNtp)}});
+          flowspec.announce(rule, bgp::flowspec::Action{0.0f});
+          break;
+        }
+        case Technique::kAdvancedBlackholing: {
+          core::Signal signal;
+          signal.rules.push_back({core::RuleKind::kUdpSrcPort, net::kPortNtp});
+          core::SignalAdvancedBlackholing(victim, ixp->route_server(), target_host, signal);
+          break;
+        }
+      }
+      // Let the trigger's BGP events propagate into the controller before
+      // this bin's traffic is generated (in-band signaling is sub-second;
+      // the bin width would otherwise quantize the reaction time).
+      queue.run_until(sim::Seconds(base + t + 2.0));
+    }
+
+    // Mechanism activation: first instant the technique's filters are live.
+    if (triggered && std::isinf(result.activation_s)) {
+      bool active = false;
+      switch (technique) {
+        case Technique::kNone:
+          break;
+        case Technique::kRtbh:
+          active = MeasureCompliance(*ixp, target_host, kVictimAsn).honoring > 0;
+          break;
+        case Technique::kAcl:
+          active = acl.rule_count(t) > 0;
+          break;
+        case Technique::kTss:
+          active = tss_active && t >= tss_active_from;
+          break;
+        case Technique::kFlowspec:
+          active = flowspec.accepting_peers() > 0;
+          break;
+        case Technique::kAdvancedBlackholing:
+          active = ixp->edge_router().policy(victim.info().port).rule_count() > 0;
+          break;
+      }
+      if (active) result.activation_s = t - config.mitigation_trigger_s;
+    }
+
+    // Offered load this bin.
+    std::vector<net::FlowSample> offered = web.bin(t, config.bin_s);
+    for (auto& s : attack.bin(t, config.bin_s)) offered.push_back(s);
+
+    double attack_offered = 0.0;
+    double benign_offered = 0.0;
+    for (const auto& s : offered) {
+      (IsAttackFlow(s.key) ? attack_offered : benign_offered) += s.mbps(config.bin_s);
+    }
+
+    // Flowspec removes traffic at accepting peers' edges, before the IXP.
+    if (technique == Technique::kFlowspec && triggered) {
+      std::vector<net::FlowSample> kept;
+      kept.reserve(offered.size());
+      for (const auto& s : offered) {
+        ixp::MemberRouter* src = nullptr;
+        for (const auto& m : ixp->members()) {
+          if (m->info().mac == s.key.src_mac) {
+            src = m.get();
+            break;
+          }
+        }
+        if (src != nullptr && flowspec.peer_drops(src->info().asn, s.key)) continue;
+        kept.push_back(s);
+      }
+      offered = std::move(kept);
+    }
+
+    std::vector<net::FlowSample> delivered;
+    if (technique == Technique::kTss && tss_active && t >= tss_active_from) {
+      // Diversion: traffic detours via the scrubbing center, the clean share
+      // is returned to the victim within its port capacity.
+      auto scrubbed = tss.scrub(offered, config.bin_s, IsAttackFlow);
+      result.tss_cost += scrubbed.cost;
+      filter::QosPolicy empty;
+      auto port = ApplyEgressQos(scrubbed.clean, empty, config.victim_port_mbps, config.bin_s);
+      delivered = std::move(port.delivered);
+    } else {
+      auto report = ixp->deliver_bin(offered, config.bin_s);
+      // Keep only flows that egressed at the victim's port.
+      for (auto& s : report.delivered) {
+        if (s.key.dst_ip == target ||
+            victim_spec.address_space.contains(s.key.dst_ip)) {
+          delivered.push_back(s);
+        }
+      }
+    }
+
+    // ACL filtering happens inside the victim's network, post-port.
+    if (technique == Technique::kAcl) {
+      auto post = acl.apply(t, delivered, config.bin_s);
+      delivered = std::move(post.delivered);
+    }
+
+    double attack_delivered = 0.0;
+    double benign_delivered = 0.0;
+    for (const auto& s : delivered) {
+      (IsAttackFlow(s.key) ? attack_delivered : benign_delivered) += s.mbps(config.bin_s);
+    }
+    result.times.push_back(t);
+    result.attack_offered_mbps.push_back(attack_offered);
+    result.benign_offered_mbps.push_back(benign_offered);
+    result.attack_delivered_mbps.push_back(attack_delivered);
+    result.benign_delivered_mbps.push_back(benign_delivered);
+  }
+  return result;
+}
+
+/// Mean over bins with time in [t0, t1).
+double WindowMean(const RunResult& run, const std::vector<double>& series, double t0, double t1) {
+  double sum = 0.0;
+  int n = 0;
+  for (std::size_t i = 0; i < run.times.size(); ++i) {
+    if (run.times[i] >= t0 && run.times[i] < t1) {
+      sum += series[i];
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+}  // namespace
+
+std::vector<TechniqueMetrics> RunComparison(const ComparisonConfig& config) {
+  // After the slowest activation (TSS onboarding, 1800 s) plus settling.
+  const double steady_t0 = config.mitigation_trigger_s + 1'860.0;
+  const double steady_t1 = config.duration_s;
+
+  struct Plan {
+    Technique technique;
+    TechniqueMetrics base;
+  };
+  std::vector<Plan> plans;
+  {
+    TechniqueMetrics m;
+    m.name = "none";
+    plans.push_back({Technique::kNone, m});
+  }
+  {
+    TechniqueMetrics m;
+    m.name = "TSS";
+    m.signaling_messages = 1;
+    m.cooperating_parties = 1;  // The scrubbing provider.
+    m.telemetry = true;
+    m.resource_sharing_required = true;
+    m.scalability_gbps = ScrubbingService::Config{}.capacity_mbps / 1e3;
+    m.added_latency_ms = ScrubbingService::Config{}.added_latency_ms;
+    plans.push_back({Technique::kTss, m});
+  }
+  {
+    TechniqueMetrics m;
+    m.name = "ACL";
+    m.signaling_messages = 0;
+    m.cooperating_parties = 0;
+    m.telemetry = false;
+    m.resource_sharing_required = false;
+    m.scalability_gbps = config.victim_port_mbps / 1e3;  // Port stays the bottleneck.
+    plans.push_back({Technique::kAcl, m});
+  }
+  {
+    TechniqueMetrics m;
+    m.name = "RTBH";
+    m.signaling_messages = 1;
+    m.cooperating_parties = config.members;  // Everyone must honor.
+    m.telemetry = false;
+    m.resource_sharing_required = false;
+    m.scalability_gbps = 25'000.0;  // IXP platform capacity.
+    plans.push_back({Technique::kRtbh, m});
+  }
+  {
+    TechniqueMetrics m;
+    m.name = "Flowspec";
+    m.signaling_messages = 1;
+    m.cooperating_parties = config.members;  // Peers share their hardware.
+    m.telemetry = false;
+    m.resource_sharing_required = true;
+    m.scalability_gbps = 25'000.0;
+    plans.push_back({Technique::kFlowspec, m});
+  }
+  {
+    TechniqueMetrics m;
+    m.name = "AdvancedBH";
+    m.signaling_messages = 1;
+    m.cooperating_parties = 0;  // One-to-IXP signaling.
+    m.telemetry = true;
+    m.resource_sharing_required = false;
+    m.scalability_gbps = 25'000.0;
+    plans.push_back({Technique::kAdvancedBlackholing, m});
+  }
+
+  std::vector<TechniqueMetrics> out;
+  for (auto& plan : plans) {
+    const RunResult run = RunScenario(plan.technique, config);
+    TechniqueMetrics m = plan.base;
+    const double attack_offered = WindowMean(run, run.attack_offered_mbps, steady_t0, steady_t1);
+    const double benign_offered = WindowMean(run, run.benign_offered_mbps, steady_t0, steady_t1);
+    const double attack_delivered =
+        WindowMean(run, run.attack_delivered_mbps, steady_t0, steady_t1);
+    const double benign_delivered =
+        WindowMean(run, run.benign_delivered_mbps, steady_t0, steady_t1);
+    m.attack_delivered_pct = attack_offered > 0.0 ? attack_delivered / attack_offered * 100.0 : 0.0;
+    m.benign_delivered_pct = benign_offered > 0.0 ? benign_delivered / benign_offered * 100.0 : 0.0;
+    m.reaction_time_s =
+        plan.technique == Technique::kNone ? 0.0 : run.activation_s;
+    m.measured_cost = run.tss_cost;
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::string RenderComparisonTable(const std::vector<TechniqueMetrics>& rows) {
+  std::ostringstream os;
+  util::TextTable measured({"technique", "attack deliv [%]", "benign deliv [%]",
+                            "reaction [s]", "msgs", "coop parties", "telemetry",
+                            "res-sharing", "scale [Gbps]", "volume cost"});
+  for (const auto& r : rows) {
+    measured.add_row({r.name, util::FormatDouble(r.attack_delivered_pct, 1),
+                      util::FormatDouble(r.benign_delivered_pct, 1),
+                      std::isinf(r.reaction_time_s) ? "never"
+                                                    : util::FormatDouble(r.reaction_time_s, 0),
+                      std::to_string(r.signaling_messages), std::to_string(r.cooperating_parties),
+                      r.telemetry ? "yes" : "no", r.resource_sharing_required ? "yes" : "no",
+                      util::FormatDouble(r.scalability_gbps, 0),
+                      util::FormatDouble(r.measured_cost, 2)});
+  }
+  os << measured.str() << '\n';
+
+  // Paper-style qualitative marks. Thresholds:
+  //   granularity      ok if benign survives (>70%) while attack suppressed (<30%)
+  //   signaling        ok if <= 1 message and no out-of-band setup
+  //   cooperation      ok if no third party must act
+  //   resource sharing ok if no third-party resources consumed
+  //   telemetry        from the structural flag
+  //   scalability      ok if ceiling >= 1 Tbps-scale (here: platform-bound)
+  //   reaction time    ok if < 60 s
+  //   costs            ok if no per-volume fees
+  util::TextTable marks({"dimension", "TSS", "ACL", "RTBH", "Flowspec", "AdvBH"});
+  auto find = [&rows](const std::string& name) -> const TechniqueMetrics& {
+    for (const auto& r : rows) {
+      if (r.name == name) return r;
+    }
+    throw std::logic_error("missing technique " + name);
+  };
+  const auto order = {std::string("TSS"), std::string("ACL"), std::string("RTBH"),
+                      std::string("Flowspec"), std::string("AdvancedBH")};
+  auto row_for = [&](const std::string& dim,
+                     const std::function<std::string(const TechniqueMetrics&)>& mark) {
+    std::vector<std::string> cells{dim};
+    for (const auto& name : order) cells.push_back(mark(find(name)));
+    marks.add_row(std::move(cells));
+  };
+  row_for("granularity", [](const TechniqueMetrics& m) {
+    return m.attack_delivered_pct < 30.0 && m.benign_delivered_pct > 70.0 ? "y" : "n";
+  });
+  row_for("cooperation", [](const TechniqueMetrics& m) {
+    return m.cooperating_parties == 0 ? "y" : m.cooperating_parties == 1 ? "." : "n";
+  });
+  row_for("resource sharing",
+          [](const TechniqueMetrics& m) { return m.resource_sharing_required ? "n" : "y"; });
+  row_for("telemetry", [](const TechniqueMetrics& m) { return m.telemetry ? "y" : "n"; });
+  row_for("scalability", [](const TechniqueMetrics& m) {
+    return m.scalability_gbps >= 1'000.0 ? "y" : m.scalability_gbps >= 100.0 ? "." : "n";
+  });
+  row_for("reaction time", [](const TechniqueMetrics& m) {
+    return m.reaction_time_s < 60.0 ? "y" : m.reaction_time_s < 600.0 ? "." : "n";
+  });
+  row_for("signaling complexity", [](const TechniqueMetrics& m) {
+    // Simple = one in-band message that takes effect without anyone else
+    // acting (RTBH's single message still needs every peer to honor it).
+    return m.signaling_messages <= 1 && m.cooperating_parties == 0 &&
+                   m.reaction_time_s < 60.0
+               ? "y"
+               : "n";
+  });
+  row_for("resources", [](const TechniqueMetrics& m) {
+    // Mitigation runs on resources already in place (the IXP's spare
+    // filtering capacity) rather than bought or borrowed ones.
+    return !m.resource_sharing_required && m.scalability_gbps >= 1'000.0 ? "y" : "n";
+  });
+  row_for("performance", [](const TechniqueMetrics& m) {
+    // No path stretch for clean traffic (TSS detours via the scrubbing
+    // center).
+    return m.added_latency_ms > 0.0 ? "n" : "y";
+  });
+  row_for("costs", [](const TechniqueMetrics& m) { return m.measured_cost > 0.0 ? "n" : "y"; });
+  os << marks.str();
+  return os.str();
+}
+
+}  // namespace stellar::mitigation

@@ -1,0 +1,50 @@
+#include "mitigation/scrubbing.hpp"
+
+#include <algorithm>
+
+namespace stellar::mitigation {
+
+ScrubbingService::BinResult ScrubbingService::scrub(
+    std::span<const net::FlowSample> diverted, double bin_s,
+    const std::function<bool(const net::FlowKey&)>& is_attack) const {
+  BinResult result;
+  double total_bytes = 0.0;
+  for (const auto& s : diverted) total_bytes += static_cast<double>(s.bytes);
+  const double capacity_bytes = config_.capacity_mbps * 1e6 / 8.0 * bin_s;
+  // Beyond center capacity the overload is shed indiscriminately before
+  // classification (this is how Tbps attacks defeat scrubbing: §1.1 "does
+  // not cope with Tbps-level attacks").
+  const double admit = total_bytes <= capacity_bytes || total_bytes == 0.0
+                           ? 1.0
+                           : capacity_bytes / total_bytes;
+
+  for (const auto& s : diverted) {
+    const double offered = static_cast<double>(s.bytes);
+    const double admitted = offered * admit;
+    result.overload_dropped_mbps += (offered - admitted) * 8.0 / 1e6 / bin_s;
+    const bool attack = is_attack(s.key);
+    const double pass_fraction =
+        attack ? 1.0 - config_.attack_detection_rate : 1.0 - config_.false_positive_rate;
+    const double passed = admitted * pass_fraction;
+    const double dropped = admitted - passed;
+    if (attack) {
+      result.dropped_attack_mbps += dropped * 8.0 / 1e6 / bin_s;
+      result.passed_attack_mbps += passed * 8.0 / 1e6 / bin_s;
+    } else {
+      result.dropped_benign_mbps += dropped * 8.0 / 1e6 / bin_s;
+    }
+    if (passed >= 1.0) {
+      net::FlowSample out = s;
+      out.bytes = static_cast<std::uint64_t>(passed);
+      out.packets = static_cast<std::uint64_t>(
+          static_cast<double>(s.packets) * (offered > 0.0 ? passed / offered : 0.0));
+      result.clean.push_back(out);
+    }
+  }
+  // Per-volume fee on everything carried to the center (that is the cost
+  // model that makes TSS expensive for volumetric attacks).
+  result.cost = total_bytes / 1e9 * config_.cost_per_gb;
+  return result;
+}
+
+}  // namespace stellar::mitigation

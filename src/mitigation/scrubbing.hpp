@@ -1,0 +1,51 @@
+// Traffic Scrubbing Service (TSS) baseline (paper §1.1): traffic is diverted
+// to a scrubbing center (BGP delegation / DNS redirection), classified with
+// DPI, and the "clean" share is returned. Fine-grained but costly: recurring
+// per-volume fees, setup time, rerouting latency, a capacity ceiling, and
+// imperfect classification in both directions.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/flow.hpp"
+
+namespace stellar::mitigation {
+
+class ScrubbingService {
+ public:
+  struct Config {
+    double capacity_mbps = 500'000.0;    ///< Scrubbing-center ingress ceiling.
+    double attack_detection_rate = 0.98; ///< Attack bytes correctly dropped.
+    double false_positive_rate = 0.02;   ///< Benign bytes wrongly dropped.
+    double added_latency_ms = 30.0;      ///< Detour through the scrubbing center.
+    double cost_per_gb = 0.05;           ///< Recurring volume cost (arbitrary units).
+    double subscription_setup_s = 1800.0;///< Onboarding + BGP/DNS redirection time.
+  };
+
+  explicit ScrubbingService(Config config) : config_(config) {}
+
+  struct BinResult {
+    std::vector<net::FlowSample> clean;   ///< Returned to the victim.
+    double dropped_attack_mbps = 0.0;
+    double dropped_benign_mbps = 0.0;     ///< Collateral of false positives.
+    double passed_attack_mbps = 0.0;      ///< Missed by detection.
+    double overload_dropped_mbps = 0.0;   ///< Beyond center capacity (indiscriminate).
+    double cost = 0.0;                    ///< This bin's volume cost.
+  };
+
+  /// Scrubs one bin. `is_attack` is ground truth used to score the
+  /// (imperfect) classifier; the classifier itself works on rates.
+  [[nodiscard]] BinResult scrub(std::span<const net::FlowSample> diverted, double bin_s,
+                                const std::function<bool(const net::FlowKey&)>& is_attack) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] double total_cost() const { return total_cost_; }
+  void charge(double cost) { total_cost_ += cost; }
+
+ private:
+  Config config_;
+  double total_cost_ = 0.0;
+};
+
+}  // namespace stellar::mitigation

@@ -1,0 +1,105 @@
+#include "net/aggregate.hpp"
+
+#include <algorithm>
+
+namespace stellar::net {
+
+namespace {
+
+/// True if `a` and `b` are the two halves of the same parent prefix.
+bool AreSiblings(const Prefix4& a, const Prefix4& b) {
+  if (a.length() != b.length() || a.length() == 0) return false;
+  const std::uint32_t sibling_bit = 1u << (32 - a.length());
+  return (a.address().value() ^ b.address().value()) == sibling_bit;
+}
+
+}  // namespace
+
+std::vector<Prefix4> AggregatePrefixes(std::vector<Prefix4> prefixes) {
+  // Sort by address then by length: a covering prefix precedes its
+  // more-specifics, so containment removal is a single sweep.
+  std::sort(prefixes.begin(), prefixes.end(), [](const Prefix4& a, const Prefix4& b) {
+    if (a.address() != b.address()) return a.address() < b.address();
+    return a.length() < b.length();
+  });
+  std::vector<Prefix4> out;
+  for (const auto& p : prefixes) {
+    if (!out.empty() && out.back().contains(p)) continue;  // Contained: drop.
+    out.push_back(p);
+    // Merge sibling pairs bottom-up; a merge may enable further merges
+    // (e.g. four /26s collapsing into one /24) or swallow earlier entries.
+    while (out.size() >= 2) {
+      Prefix4& prev = out[out.size() - 2];
+      Prefix4& last = out.back();
+      if (AreSiblings(prev, last)) {
+        const Prefix4 parent(prev.address(), static_cast<std::uint8_t>(prev.length() - 1));
+        out.pop_back();
+        out.back() = parent;
+      } else if (prev.contains(last)) {
+        out.pop_back();
+      } else {
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// True if `a` and `b` are the two halves of the same v6 parent prefix.
+bool AreSiblings6(const Prefix6& a, const Prefix6& b) {
+  if (a.length() != b.length() || a.length() == 0) return false;
+  const int bit_index = a.length() - 1;       // Differing bit, 0-based from MSB.
+  const std::size_t byte = static_cast<std::size_t>(bit_index / 8);
+  const std::uint8_t mask = static_cast<std::uint8_t>(0x80 >> (bit_index % 8));
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::uint8_t diff = a.address().bytes()[i] ^ b.address().bytes()[i];
+    if (i == byte ? diff != mask : diff != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Prefix6> AggregatePrefixes6(std::vector<Prefix6> prefixes) {
+  std::sort(prefixes.begin(), prefixes.end(), [](const Prefix6& a, const Prefix6& b) {
+    if (!(a.address() == b.address())) return a.address() < b.address();
+    return a.length() < b.length();
+  });
+  std::vector<Prefix6> out;
+  for (const auto& p : prefixes) {
+    if (!out.empty() && out.back().contains(p)) continue;
+    out.push_back(p);
+    while (out.size() >= 2) {
+      Prefix6& prev = out[out.size() - 2];
+      Prefix6& last = out.back();
+      if (AreSiblings6(prev, last)) {
+        const Prefix6 parent(prev.address(), static_cast<std::uint8_t>(prev.length() - 1));
+        out.pop_back();
+        out.back() = parent;
+      } else if (prev.contains(last)) {
+        out.pop_back();
+      } else {
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool CoveredBy(const std::vector<Prefix4>& prefixes, IPv4Address address) {
+  for (const auto& p : prefixes) {
+    if (p.contains(address)) return true;
+  }
+  return false;
+}
+
+bool CoveredBy6(const std::vector<Prefix6>& prefixes, const IPv6Address& address) {
+  for (const auto& p : prefixes) {
+    if (p.contains(address)) return true;
+  }
+  return false;
+}
+
+}  // namespace stellar::net

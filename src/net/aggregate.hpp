@@ -1,0 +1,28 @@
+// Prefix aggregation: collapses a prefix set into the minimal list covering
+// exactly the same addresses (dedup + contained-prefix removal + merging of
+// sibling pairs into their parent). Used to summarize blackholed prefixes and
+// to compact IRR route-object sets; the classic CIDR aggregation algorithm.
+#pragma once
+
+#include <vector>
+
+#include "net/ip.hpp"
+
+namespace stellar::net {
+
+/// Returns the minimal, sorted prefix list covering exactly the union of the
+/// inputs. Examples:
+///   {10.0.0.0/24, 10.0.1.0/24}        -> {10.0.0.0/23}     (sibling merge)
+///   {10.0.0.0/16, 10.0.1.0/24}        -> {10.0.0.0/16}     (containment)
+///   {10.0.0.0/24, 10.0.2.0/24}        -> unchanged         (not siblings)
+[[nodiscard]] std::vector<Prefix4> AggregatePrefixes(std::vector<Prefix4> prefixes);
+
+/// IPv6 variant (summarizing v6 blackhole sets).
+[[nodiscard]] std::vector<Prefix6> AggregatePrefixes6(std::vector<Prefix6> prefixes);
+
+/// True if `address` is covered by any prefix in the (not necessarily
+/// aggregated) set. Reference semantics for testing aggregation.
+[[nodiscard]] bool CoveredBy(const std::vector<Prefix4>& prefixes, IPv4Address address);
+[[nodiscard]] bool CoveredBy6(const std::vector<Prefix6>& prefixes, const IPv6Address& address);
+
+}  // namespace stellar::net

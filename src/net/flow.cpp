@@ -1,0 +1,19 @@
+#include "net/flow.hpp"
+
+namespace stellar::net {
+
+std::string_view ToString(IpProto proto) {
+  switch (proto) {
+    case IpProto::kIcmp: return "icmp";
+    case IpProto::kTcp: return "tcp";
+    case IpProto::kUdp: return "udp";
+  }
+  return "proto?";
+}
+
+std::string FlowKey::str() const {
+  return std::string(ToString(proto)) + " " + src_ip.str() + ":" + std::to_string(src_port) +
+         " -> " + dst_ip.str() + ":" + std::to_string(dst_port) + " [" + src_mac.str() + "]";
+}
+
+}  // namespace stellar::net

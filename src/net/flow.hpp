@@ -1,0 +1,66 @@
+// Flow-level traffic vocabulary: IP protocols, L2-L4 flow keys, and fluid
+// flow samples. The data plane simulation is flow-level (not per-packet):
+// each sample carries an aggregate byte volume for one time bin, which is the
+// right granularity for Tbps-scale DDoS experiments and matches the IPFIX
+// viewpoint the paper measures with.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/ip.hpp"
+#include "net/mac.hpp"
+
+namespace stellar::net {
+
+/// IANA IP protocol numbers used by the system.
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+[[nodiscard]] std::string_view ToString(IpProto proto);
+
+/// L2-L4 flow identity as seen by the IXP fabric: source MAC identifies the
+/// sending member router; the 5-tuple identifies the IP flow.
+struct FlowKey {
+  MacAddress src_mac;   ///< Member router that handed the traffic to the IXP.
+  IPv4Address src_ip;
+  IPv4Address dst_ip;
+  IpProto proto = IpProto::kUdp;
+  std::uint16_t src_port = 0;  ///< 0 for ICMP / fragments.
+  std::uint16_t dst_port = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+  [[nodiscard]] std::string str() const;
+};
+
+/// One fluid traffic sample: `bytes` of the given flow observed during the
+/// time bin starting at `time_s` (bin width is owned by the generator).
+struct FlowSample {
+  double time_s = 0.0;
+  FlowKey key;
+  std::uint64_t bytes = 0;
+  std::uint64_t packets = 0;
+
+  [[nodiscard]] double mbps(double bin_seconds) const {
+    return static_cast<double>(bytes) * 8.0 / 1e6 / bin_seconds;
+  }
+};
+
+}  // namespace stellar::net
+
+template <>
+struct std::hash<stellar::net::FlowKey> {
+  std::size_t operator()(const stellar::net::FlowKey& k) const noexcept {
+    std::size_t h = std::hash<stellar::net::MacAddress>{}(k.src_mac);
+    auto mix = [&h](std::size_t v) { h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2); };
+    mix(std::hash<stellar::net::IPv4Address>{}(k.src_ip));
+    mix(std::hash<stellar::net::IPv4Address>{}(k.dst_ip));
+    mix(static_cast<std::size_t>(k.proto));
+    mix((static_cast<std::size_t>(k.src_port) << 16) | k.dst_port);
+    return h;
+  }
+};

@@ -1,0 +1,65 @@
+#include "net/mac.hpp"
+
+#include <cstdio>
+
+namespace stellar::net {
+
+util::Result<MacAddress> MacAddress::Parse(std::string_view text) {
+  Bytes bytes{};
+  std::size_t pos = 0;
+  for (int octet = 0; octet < 6; ++octet) {
+    if (octet != 0) {
+      if (pos >= text.size() || (text[pos] != ':' && text[pos] != '-')) {
+        return util::MakeError("net.parse", "bad MAC address: '" + std::string(text) + "'");
+      }
+      ++pos;
+    }
+    unsigned v = 0;
+    int digits = 0;
+    while (pos < text.size() && digits < 2) {
+      const char c = text[pos];
+      unsigned d = 0;
+      if (c >= '0' && c <= '9') d = static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') d = static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') d = static_cast<unsigned>(c - 'A' + 10);
+      else break;
+      v = v * 16 + d;
+      ++pos;
+      ++digits;
+    }
+    if (digits != 2) {
+      return util::MakeError("net.parse", "bad MAC address: '" + std::string(text) + "'");
+    }
+    bytes[static_cast<std::size_t>(octet)] = static_cast<std::uint8_t>(v);
+  }
+  if (pos != text.size()) {
+    return util::MakeError("net.parse", "trailing characters in MAC: '" + std::string(text) + "'");
+  }
+  return MacAddress(bytes);
+}
+
+MacAddress MacAddress::ForRouter(std::uint32_t asn, std::uint8_t router_index) {
+  Bytes b{};
+  b[0] = 0x02;  // Locally administered, unicast.
+  b[1] = static_cast<std::uint8_t>(asn >> 24);
+  b[2] = static_cast<std::uint8_t>(asn >> 16);
+  b[3] = static_cast<std::uint8_t>(asn >> 8);
+  b[4] = static_cast<std::uint8_t>(asn);
+  b[5] = router_index;
+  return MacAddress(b);
+}
+
+std::string MacAddress::str() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0], bytes_[1], bytes_[2],
+                bytes_[3], bytes_[4], bytes_[5]);
+  return buf;
+}
+
+std::uint64_t MacAddress::as_u64() const {
+  std::uint64_t v = 0;
+  for (std::uint8_t b : bytes_) v = (v << 8) | b;
+  return v;
+}
+
+}  // namespace stellar::net

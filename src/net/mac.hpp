@@ -1,0 +1,48 @@
+// Ethernet MAC addresses. The IXP data plane is an L2 fabric, so source-MAC
+// filters (one MAC per member router) are first-class citizens: RTBH policy
+// control and Stellar's L2 match criteria are expressed on them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/result.hpp"
+
+namespace stellar::net {
+
+class MacAddress {
+ public:
+  using Bytes = std::array<std::uint8_t, 6>;
+
+  constexpr MacAddress() : bytes_{} {}
+  constexpr explicit MacAddress(const Bytes& bytes) : bytes_(bytes) {}
+
+  /// Parses "aa:bb:cc:dd:ee:ff" (case-insensitive, ':' or '-' separators).
+  static util::Result<MacAddress> Parse(std::string_view text);
+
+  /// Deterministic locally-administered unicast MAC for a simulated member
+  /// router, derived from its ASN and router index. Bit 1 of the first octet
+  /// (locally administered) is set, bit 0 (multicast) is clear.
+  static MacAddress ForRouter(std::uint32_t asn, std::uint8_t router_index = 0);
+
+  [[nodiscard]] const Bytes& bytes() const { return bytes_; }
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] std::uint64_t as_u64() const;
+
+  friend constexpr auto operator<=>(const MacAddress&, const MacAddress&) = default;
+
+ private:
+  Bytes bytes_;
+};
+
+}  // namespace stellar::net
+
+template <>
+struct std::hash<stellar::net::MacAddress> {
+  std::size_t operator()(const stellar::net::MacAddress& m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.as_u64());
+  }
+};

@@ -1,0 +1,45 @@
+// Well-known UDP services abused for amplification DDoS and their published
+// bandwidth amplification factors (Rossow, NDSS'14; US-CERT TA14-017A; Akamai
+// memcached spotlight 2018). These drive the attack generators and label the
+// axes of Fig. 2c / Fig. 3a.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace stellar::net {
+
+struct AmplificationService {
+  std::uint16_t udp_port;
+  std::string_view name;
+  double bandwidth_amplification_factor;  ///< Response bytes per request byte.
+};
+
+/// Services the paper's Fig. 3a identifies as dominant in blackholed traffic
+/// (ports 0, 123, 389, 11211, 53, 19). Port 0 is not a service: it is how
+/// flow collectors report non-initial IP fragments of oversized amplification
+/// responses, so it is kept here with the factor of its typical source (NTP).
+inline constexpr std::array<AmplificationService, 6> kAmplificationServices{{
+    {0, "unassigned/fragments", 556.9},
+    {123, "ntp", 556.9},
+    {389, "ldap", 55.0},
+    {11211, "memcached", 10000.0},
+    {53, "domain", 54.0},
+    {19, "chargen", 358.8},
+}};
+
+/// Well-known service ports used by the benign web-service traffic mix of
+/// Fig. 2c (443, 80, 8080, 1935 = RTMP streaming).
+inline constexpr std::uint16_t kPortHttps = 443;
+inline constexpr std::uint16_t kPortHttp = 80;
+inline constexpr std::uint16_t kPortHttpAlt = 8080;
+inline constexpr std::uint16_t kPortRtmp = 1935;
+
+inline constexpr std::uint16_t kPortNtp = 123;
+inline constexpr std::uint16_t kPortDns = 53;
+inline constexpr std::uint16_t kPortLdap = 389;
+inline constexpr std::uint16_t kPortMemcached = 11211;
+inline constexpr std::uint16_t kPortChargen = 19;
+
+}  // namespace stellar::net

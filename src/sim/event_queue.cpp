@@ -1,0 +1,46 @@
+#include "sim/event_queue.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace stellar::sim {
+
+void EventQueue::schedule_at(SimTime at, Callback cb) {
+  if (at < now_) at = now_;
+  heap_.push(Event{at, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::run_until(SimTime until) {
+  while (!heap_.empty() && heap_.top().at <= until) {
+    // Copy out before pop: the callback may schedule new events.
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.at;
+    ev.cb();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void EventQueue::run() {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.at;
+    ev.cb();
+  }
+}
+
+PeriodicTask::PeriodicTask(EventQueue& queue, Duration period, EventQueue::Callback cb)
+    : queue_(queue), period_(period), cb_(std::move(cb)) {
+  arm();
+}
+
+void PeriodicTask::arm() {
+  queue_.schedule_after(period_, [this, alive = alive_] {
+    if (!*alive) return;
+    cb_();
+    arm();
+  });
+}
+
+}  // namespace stellar::sim

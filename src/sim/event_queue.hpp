@@ -1,0 +1,88 @@
+// Discrete-event simulation kernel: a virtual clock and an event queue.
+//
+// All time-dependent behaviour in the system — BGP hold/keepalive timers, the
+// network manager's token-bucket dequeue, attack ramp-up, traffic bins — runs
+// against this clock, never against wall time, so experiments are exact and
+// instantaneous to run.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace stellar::sim {
+
+/// Simulation time. A duration since simulation start, in seconds with
+/// double precision (std::chrono gives us unit safety for free).
+using Duration = std::chrono::duration<double>;
+using SimTime = Duration;
+
+constexpr SimTime Seconds(double s) { return SimTime(s); }
+constexpr SimTime Millis(double ms) { return SimTime(ms / 1e3); }
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time. Starts at 0.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `at`. Events scheduled for the past run
+  /// at the current time. Events with equal timestamps run in scheduling
+  /// order (FIFO) — this determinism matters for reproducibility.
+  void schedule_at(SimTime at, Callback cb);
+
+  /// Schedules `cb` `delay` after now().
+  void schedule_after(Duration delay, Callback cb) { schedule_at(now_ + delay, std::move(cb)); }
+
+  /// Runs events until the queue is empty or the clock would pass `until`;
+  /// the clock is left at `until` (or at the last event if the queue drains).
+  void run_until(SimTime until);
+
+  /// Runs until the queue is fully drained.
+  void run();
+
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  ///< Tie-breaker for deterministic FIFO ordering.
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_{0.0};
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+/// Repeats a callback at a fixed period until cancel() or the owner's queue
+/// stops being run. The callback sees the queue's virtual clock.
+class PeriodicTask {
+ public:
+  PeriodicTask(EventQueue& queue, Duration period, EventQueue::Callback cb);
+  ~PeriodicTask() { cancel(); }
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void cancel() { *alive_ = false; }
+
+ private:
+  void arm();
+
+  EventQueue& queue_;
+  Duration period_;
+  EventQueue::Callback cb_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace stellar::sim

@@ -1,0 +1,200 @@
+#include "traffic/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace stellar::traffic {
+
+namespace {
+
+constexpr double kBytesPerMbps = 1e6 / 8.0;  // Bytes per second at 1 Mbit/s.
+
+// Typical packet sizes for packet-count estimates (counters only; the fluid
+// model carries bytes).
+constexpr double kWebPacketBytes = 900.0;
+constexpr double kAmplificationPacketBytes = 1200.0;
+
+std::uint64_t PacketsFor(double bytes, double packet_size) {
+  return static_cast<std::uint64_t>(std::max(1.0, bytes / packet_size));
+}
+
+}  // namespace
+
+net::IPv4Address RandomHostIn(const net::Prefix4& prefix, util::Rng& rng) {
+  const std::uint32_t host_bits = 32u - prefix.length();
+  if (host_bits == 0) return prefix.address();
+  const std::uint32_t span = host_bits >= 32 ? 0xffffffffu : (1u << host_bits) - 1u;
+  const auto offset = static_cast<std::uint32_t>(rng.uniform_int(1, span));
+  return net::IPv4Address(prefix.address().value() | offset);
+}
+
+// ---------------------------------------------------------------------------
+// WebTrafficGenerator.
+
+WebTrafficGenerator::WebTrafficGenerator(Config config, std::vector<SourceMember> sources,
+                                         std::uint64_t seed)
+    : config_(std::move(config)), sources_(std::move(sources)), rng_(seed) {
+  if (sources_.empty()) throw std::invalid_argument("WebTrafficGenerator: no sources");
+}
+
+std::vector<net::FlowSample> WebTrafficGenerator::bin(double t_s, double bin_s) {
+  std::vector<net::FlowSample> out;
+  const double rate = config_.rate_mbps *
+                      std::max(0.0, 1.0 + rng_.normal(0.0, config_.rate_jitter));
+  const double total_bytes = rate * kBytesPerMbps * bin_s;
+  if (total_bytes <= 0.0) return out;
+
+  // Build the weighted port menu; the residual weight goes to "other" ports.
+  std::vector<double> weights;
+  double named = 0.0;
+  for (const auto& [port, w] : config_.port_weights) {
+    weights.push_back(w);
+    named += w;
+  }
+  weights.push_back(std::max(0.0, 1.0 - named));  // "others".
+
+  const double bytes_per_flow = total_bytes / config_.flows_per_bin;
+  for (int i = 0; i < config_.flows_per_bin; ++i) {
+    const std::size_t pick = rng_.weighted_index(weights);
+    net::FlowSample s;
+    s.time_s = t_s;
+    const auto& src = sources_[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(sources_.size()) - 1))];
+    s.key.src_mac = src.mac;
+    s.key.src_ip = RandomHostIn(src.address_space, rng_);
+    s.key.dst_ip = config_.target;
+    s.key.proto = rng_.chance(config_.tcp_fraction) ? net::IpProto::kTcp : net::IpProto::kUdp;
+    s.key.src_port = static_cast<std::uint16_t>(rng_.uniform_int(32768, 60999));
+    s.key.dst_port = pick < config_.port_weights.size()
+                         ? config_.port_weights[pick].first
+                         : static_cast<std::uint16_t>(rng_.uniform_int(1024, 32767));
+    s.bytes = static_cast<std::uint64_t>(bytes_per_flow);
+    s.packets = PacketsFor(bytes_per_flow, kWebPacketBytes);
+    out.push_back(s);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// AmplificationAttackGenerator.
+
+AmplificationAttackGenerator::AmplificationAttackGenerator(Config config,
+                                                           std::vector<SourceMember> sources,
+                                                           std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  if (sources.empty()) throw std::invalid_argument("AmplificationAttackGenerator: no sources");
+  if (config_.reflectors <= 0) throw std::invalid_argument("reflectors must be positive");
+
+  // Choose which members carry attack traffic: reflectors sit in many
+  // networks, but booters' reflector lists cluster — pick a random subset.
+  std::vector<SourceMember> shuffled = std::move(sources);
+  rng_.shuffle(shuffled);
+  const auto n_members = std::min<std::size_t>(
+      shuffled.size(), static_cast<std::size_t>(std::max(1, config_.source_members)));
+  members_.assign(shuffled.begin(), shuffled.begin() + static_cast<std::ptrdiff_t>(n_members));
+
+  // Reflector volumes are heavy-tailed (a few big NTP servers dominate).
+  reflectors_.reserve(static_cast<std::size_t>(config_.reflectors));
+  for (int i = 0; i < config_.reflectors; ++i) {
+    Reflector r;
+    r.member_index = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(members_.size()) - 1));
+    r.ip = RandomHostIn(members_[r.member_index].address_space, rng_);
+    r.weight = rng_.pareto(1.0, 1.2);
+    total_weight_ += r.weight;
+    reflectors_.push_back(r);
+  }
+}
+
+double AmplificationAttackGenerator::envelope(double t_s) const {
+  if (t_s < config_.start_s || t_s >= config_.end_s) return 0.0;
+  if (config_.ramp_s <= 0.0) return 1.0;
+  return std::min(1.0, (t_s - config_.start_s) / config_.ramp_s);
+}
+
+std::vector<net::FlowSample> AmplificationAttackGenerator::bin(double t_s, double bin_s) {
+  std::vector<net::FlowSample> out;
+  const double env = envelope(t_s);
+  if (env <= 0.0) return out;
+  const double rate = config_.peak_mbps * env *
+                      std::max(0.0, 1.0 + rng_.normal(0.0, config_.jitter));
+  const double total_bytes = rate * kBytesPerMbps * bin_s;
+  out.reserve(reflectors_.size());
+  for (const auto& r : reflectors_) {
+    const double bytes = total_bytes * r.weight / total_weight_;
+    if (bytes < 1.0) continue;
+    net::FlowSample s;
+    s.time_s = t_s;
+    s.key.src_mac = members_[r.member_index].mac;
+    s.key.src_ip = r.ip;
+    s.key.dst_ip = config_.target;
+    s.key.proto = net::IpProto::kUdp;
+    s.key.src_port = config_.service.udp_port;
+    // Response goes back to the spoofed request's ephemeral port.
+    s.key.dst_port = static_cast<std::uint16_t>(rng_.uniform_int(1024, 65535));
+    s.bytes = static_cast<std::uint64_t>(bytes);
+    s.packets = PacketsFor(bytes, kAmplificationPacketBytes);
+    out.push_back(s);
+  }
+  return out;
+}
+
+AmplificationAttackGenerator::Config BooterNtpAttack(net::IPv4Address target, double peak_mbps,
+                                                     double start_s, double end_s) {
+  AmplificationAttackGenerator::Config c;
+  c.target = target;
+  c.service = net::kAmplificationServices[1];  // NTP.
+  c.peak_mbps = peak_mbps;
+  c.start_s = start_s;
+  c.end_s = end_s;
+  c.ramp_s = 15.0;
+  c.reflectors = 900;
+  c.source_members = 55;  // Paper §5.3: attack arrives via ~60 peers.
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// BackgroundTrafficGenerator.
+
+BackgroundTrafficGenerator::BackgroundTrafficGenerator(Config config,
+                                                       std::vector<SourceMember> sources,
+                                                       std::uint64_t seed)
+    : config_(config), sources_(std::move(sources)), rng_(seed) {
+  if (sources_.empty()) throw std::invalid_argument("BackgroundTrafficGenerator: no sources");
+}
+
+std::vector<net::FlowSample> BackgroundTrafficGenerator::bin(double t_s, double bin_s) {
+  std::vector<net::FlowSample> out;
+  const double total_bytes = config_.rate_mbps * kBytesPerMbps * bin_s;
+  const double bytes_per_flow = total_bytes / config_.flows_per_bin;
+  for (int i = 0; i < config_.flows_per_bin; ++i) {
+    net::FlowSample s;
+    s.time_s = t_s;
+    const auto& src = sources_[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(sources_.size()) - 1))];
+    s.key.src_mac = src.mac;
+    s.key.src_ip = RandomHostIn(src.address_space, rng_);
+    s.key.dst_ip = RandomHostIn(config_.dst_space, rng_);
+    s.key.proto = rng_.chance(config_.tcp_fraction) ? net::IpProto::kTcp : net::IpProto::kUdp;
+    if (s.key.proto == net::IpProto::kTcp) {
+      // Server-to-client web responses dominate inter-domain TCP bytes.
+      s.key.src_port = rng_.chance(0.7) ? net::kPortHttps : net::kPortHttp;
+      s.key.dst_port = static_cast<std::uint16_t>(rng_.uniform_int(32768, 60999));
+    } else {
+      // Benign UDP: QUIC (443), DNS answers, media.
+      const double pick = rng_.uniform();
+      s.key.src_port = pick < 0.6 ? net::kPortHttps
+                       : pick < 0.75 ? net::kPortDns
+                                     : static_cast<std::uint16_t>(rng_.uniform_int(1024, 65535));
+      s.key.dst_port = static_cast<std::uint16_t>(rng_.uniform_int(1024, 65535));
+    }
+    s.bytes = static_cast<std::uint64_t>(bytes_per_flow);
+    s.packets = PacketsFor(bytes_per_flow, kWebPacketBytes);
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace stellar::traffic

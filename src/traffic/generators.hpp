@@ -1,0 +1,140 @@
+// Workload generators: benign web-service traffic and UDP amplification DDoS
+// attacks (NTP / DNS / memcached / LDAP / chargen reflection, booter-style).
+//
+// All generators are fluid: a call produces the FlowSamples of one time bin.
+// They are deterministic given a seed, and they attribute every flow to a
+// *source member* (MAC) so the IXP fabric can route it and RTBH policy
+// control can count peers — the paper's attack experiments report both Mbps
+// and the number of peers the attack arrives through.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "net/ip.hpp"
+#include "net/mac.hpp"
+#include "net/ports.hpp"
+#include "util/rng.hpp"
+
+namespace stellar::traffic {
+
+/// A member AS that can hand traffic to the IXP fabric: its router MAC and
+/// the address space its customers' traffic is sourced from.
+struct SourceMember {
+  net::MacAddress mac;
+  net::Prefix4 address_space;
+};
+
+/// Benign traffic mix of a web service (paper Fig. 2c pre-attack: HTTPS
+/// dominates, then HTTP/8080, some RTMP streaming, a tail of others).
+class WebTrafficGenerator {
+ public:
+  struct Config {
+    net::IPv4Address target;
+    double rate_mbps = 400.0;
+    double rate_jitter = 0.08;  ///< Relative bin-to-bin fluctuation.
+    /// (service dst port, weight) pairs; weights need not sum to 1 — the
+    /// remainder is spread across ephemeral "other" ports.
+    std::vector<std::pair<std::uint16_t, double>> port_weights{
+        {net::kPortHttps, 0.54},
+        {net::kPortHttp, 0.24},
+        {net::kPortHttpAlt, 0.08},
+        {net::kPortRtmp, 0.06},
+    };
+    double tcp_fraction = 0.97;  ///< Web traffic is overwhelmingly TCP.
+    int flows_per_bin = 64;      ///< Granularity of the fluid approximation.
+  };
+
+  WebTrafficGenerator(Config config, std::vector<SourceMember> sources, std::uint64_t seed);
+
+  /// Samples for the bin [t, t + bin_s).
+  [[nodiscard]] std::vector<net::FlowSample> bin(double t_s, double bin_s);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::vector<SourceMember> sources_;
+  util::Rng rng_;
+};
+
+/// A UDP reflection/amplification attack: spoofed requests hit reflectors
+/// (NTP servers, open resolvers, memcached instances...), whose oversized
+/// responses converge on the victim. Observable signature at the IXP: UDP
+/// flows with src_port = service port from many distinct reflector IPs
+/// across many member ports.
+class AmplificationAttackGenerator {
+ public:
+  struct Config {
+    net::IPv4Address target;
+    net::AmplificationService service{net::kPortNtp, "ntp", 556.9};
+    double peak_mbps = 1000.0;
+    double start_s = 0.0;
+    double end_s = 600.0;
+    double ramp_s = 20.0;        ///< Linear ramp to peak (booters start fast).
+    double jitter = 0.05;        ///< Relative per-bin volume noise.
+    int reflectors = 600;        ///< Distinct reflector source IPs.
+    int source_members = 40;     ///< Distinct IXP members the traffic arrives via.
+  };
+
+  AmplificationAttackGenerator(Config config, std::vector<SourceMember> sources,
+                               std::uint64_t seed);
+
+  [[nodiscard]] std::vector<net::FlowSample> bin(double t_s, double bin_s);
+
+  /// Attack intensity envelope in [0, 1] at time t.
+  [[nodiscard]] double envelope(double t_s) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  struct Reflector {
+    net::IPv4Address ip;
+    std::size_t member_index;  ///< Into members_.
+    double weight;             ///< Heavy-tailed per-reflector volume share.
+  };
+
+  Config config_;
+  std::vector<SourceMember> members_;  ///< The subset carrying this attack.
+  std::vector<Reflector> reflectors_;
+  double total_weight_ = 0.0;
+  util::Rng rng_;
+};
+
+/// DDoS-for-hire ("booter") attack model matching the paper's controlled
+/// experiments (§2.4, §5.3): short NTP reflection attack, ~1 Gbps peak,
+/// traffic received from 40-60 distinct peers.
+[[nodiscard]] AmplificationAttackGenerator::Config BooterNtpAttack(net::IPv4Address target,
+                                                                   double peak_mbps,
+                                                                   double start_s,
+                                                                   double end_s);
+
+/// Background traffic for ports not under attack: a light, mostly-TCP mix
+/// toward a member used to measure "other traffic" port distributions
+/// (Fig. 3a's comparison series).
+class BackgroundTrafficGenerator {
+ public:
+  struct Config {
+    net::Prefix4 dst_space;       ///< Victim-side address space.
+    double rate_mbps = 2000.0;
+    double tcp_fraction = 0.8681;  ///< Measured: TCP is 86.81% of non-blackholed traffic.
+    int flows_per_bin = 128;
+  };
+
+  BackgroundTrafficGenerator(Config config, std::vector<SourceMember> sources,
+                             std::uint64_t seed);
+
+  [[nodiscard]] std::vector<net::FlowSample> bin(double t_s, double bin_s);
+
+ private:
+  Config config_;
+  std::vector<SourceMember> sources_;
+  util::Rng rng_;
+};
+
+/// Draws a uniformly random host address inside a prefix (host bits != 0
+/// when the prefix has room, so it never collides with the network address).
+[[nodiscard]] net::IPv4Address RandomHostIn(const net::Prefix4& prefix, util::Rng& rng);
+
+}  // namespace stellar::traffic

@@ -1,0 +1,92 @@
+// Lightweight Result<T> for recoverable failures (wire-format parse errors,
+// validation rejections) where exceptions would be noise: malformed input is
+// an expected outcome for networking code, not a programming error.
+//
+// Modeled after the std::expected interface (C++23) so a later migration is
+// mechanical; we target C++20 here.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace stellar::util {
+
+/// Error payload: a short machine-readable code plus a human-readable message.
+struct Error {
+  std::string code;     ///< e.g. "bgp.update.truncated"
+  std::string message;  ///< e.g. "attribute length 52 exceeds remaining 12 bytes"
+
+  friend bool operator==(const Error&, const Error&) = default;
+};
+
+/// Result of an operation that can fail in an expected way.
+///
+/// Invariant: holds exactly one of a value or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::in_place_index<1>, std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept { return data_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Access the value. Precondition: ok().
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw std::logic_error("Result::value() on error: " + error().message);
+    return std::get<0>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw std::logic_error("Result::value() on error: " + error().message);
+    return std::get<0>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    if (!ok()) throw std::logic_error("Result::value() on error: " + error().message);
+    return std::get<0>(std::move(data_));
+  }
+
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+  /// Access the error. Precondition: !ok().
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<1>(data_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& { return ok() ? std::get<0>(data_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result for operations that return no value.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Convenience factory: Result<T>(Error{code, message}) reads poorly at call sites.
+inline Error MakeError(std::string code, std::string message) {
+  return Error{std::move(code), std::move(message)};
+}
+
+}  // namespace stellar::util

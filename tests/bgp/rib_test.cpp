@@ -1,0 +1,173 @@
+#include "bgp/rib.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stellar::bgp {
+namespace {
+
+net::Prefix4 P4(const char* text) { return net::Prefix4::Parse(text).value(); }
+
+Route MakeRoute(const char* prefix, PeerId peer, PathId path_id = 0, Asn origin = 65001) {
+  Route r;
+  r.prefix = P4(prefix);
+  r.peer = peer;
+  r.path_id = path_id;
+  r.attrs.origin = Origin::kIgp;
+  r.attrs.as_path = {{AsPathSegment::Type::kSequence, {origin}}};
+  r.attrs.next_hop = net::IPv4Address(10, 0, 0, 1);
+  return r;
+}
+
+TEST(RibTest, InsertAndLookup) {
+  Rib rib;
+  EXPECT_TRUE(rib.insert(MakeRoute("60.1.0.0/20", 1)));
+  EXPECT_EQ(rib.size(), 1u);
+  EXPECT_EQ(rib.routes_for(P4("60.1.0.0/20")).size(), 1u);
+  EXPECT_TRUE(rib.routes_for(P4("60.2.0.0/20")).empty());
+}
+
+TEST(RibTest, ReinsertSameAttributesIsNoChange) {
+  Rib rib;
+  EXPECT_TRUE(rib.insert(MakeRoute("60.1.0.0/20", 1)));
+  EXPECT_FALSE(rib.insert(MakeRoute("60.1.0.0/20", 1)));
+  Route modified = MakeRoute("60.1.0.0/20", 1);
+  modified.attrs.med = 10;
+  EXPECT_TRUE(rib.insert(modified));
+  EXPECT_EQ(rib.size(), 1u);
+}
+
+TEST(RibTest, AddPathKeepsMultiplePathsPerPrefixAndPeer) {
+  Rib rib;
+  rib.insert(MakeRoute("100.10.10.10/32", 1, 1));
+  rib.insert(MakeRoute("100.10.10.10/32", 1, 2));
+  rib.insert(MakeRoute("100.10.10.10/32", 2, 1));
+  EXPECT_EQ(rib.routes_for(P4("100.10.10.10/32")).size(), 3u);
+}
+
+TEST(RibTest, WithdrawSpecificPath) {
+  Rib rib;
+  rib.insert(MakeRoute("100.10.10.10/32", 1, 1));
+  rib.insert(MakeRoute("100.10.10.10/32", 1, 2));
+  EXPECT_TRUE(rib.withdraw(P4("100.10.10.10/32"), 1, 1));
+  EXPECT_FALSE(rib.withdraw(P4("100.10.10.10/32"), 1, 1));
+  EXPECT_EQ(rib.routes_for(P4("100.10.10.10/32")).size(), 1u);
+}
+
+TEST(RibTest, WithdrawPeerRemovesAll) {
+  Rib rib;
+  rib.insert(MakeRoute("60.1.0.0/20", 1));
+  rib.insert(MakeRoute("60.2.0.0/20", 1));
+  rib.insert(MakeRoute("60.3.0.0/20", 2));
+  EXPECT_EQ(rib.withdraw_peer(1), 2u);
+  EXPECT_EQ(rib.size(), 1u);
+}
+
+TEST(RibTest, ApplyUpdate) {
+  Rib rib;
+  UpdateMessage u;
+  u.attrs.origin = Origin::kIgp;
+  u.attrs.next_hop = net::IPv4Address(1, 1, 1, 1);
+  u.announced = {{0, P4("60.1.0.0/20")}, {0, P4("60.2.0.0/20")}};
+  EXPECT_EQ(rib.apply_update(3, u), 2u);
+  UpdateMessage w;
+  w.withdrawn = {{0, P4("60.1.0.0/20")}};
+  EXPECT_EQ(rib.apply_update(3, w), 1u);
+  EXPECT_EQ(rib.size(), 1u);
+}
+
+TEST(BetterPathTest, DecisionProcessOrder) {
+  Route base = MakeRoute("60.1.0.0/20", 2);
+
+  Route higher_lp = base;
+  higher_lp.attrs.local_pref = 200;
+  EXPECT_TRUE(BetterPath(higher_lp, base));  // Default local-pref = 100.
+
+  Route shorter = base;
+  shorter.attrs.as_path = {{AsPathSegment::Type::kSequence, {1}}};
+  Route longer = base;
+  longer.attrs.as_path = {{AsPathSegment::Type::kSequence, {1, 2, 3}}};
+  EXPECT_TRUE(BetterPath(shorter, longer));
+
+  Route igp = base;
+  igp.attrs.origin = Origin::kIgp;
+  Route incomplete = base;
+  incomplete.attrs.origin = Origin::kIncomplete;
+  EXPECT_TRUE(BetterPath(igp, incomplete));
+
+  Route low_med = base;
+  low_med.attrs.med = 1;
+  Route high_med = base;
+  high_med.attrs.med = 9;
+  EXPECT_TRUE(BetterPath(low_med, high_med));
+
+  Route peer1 = MakeRoute("60.1.0.0/20", 1);
+  EXPECT_TRUE(BetterPath(peer1, base));  // Deterministic tie-break.
+}
+
+TEST(RibTest, BestSelectsByDecisionProcess) {
+  Rib rib;
+  Route good = MakeRoute("60.1.0.0/20", 2);
+  good.attrs.local_pref = 500;
+  rib.insert(MakeRoute("60.1.0.0/20", 1));
+  rib.insert(good);
+  const auto best = rib.best(P4("60.1.0.0/20"));
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->peer, 2u);
+  EXPECT_FALSE(rib.best(P4("1.0.0.0/8")).has_value());
+}
+
+TEST(RibTest, PrefixesAreDistinctAndSorted) {
+  Rib rib;
+  rib.insert(MakeRoute("60.2.0.0/20", 1));
+  rib.insert(MakeRoute("60.1.0.0/20", 1));
+  rib.insert(MakeRoute("60.1.0.0/20", 2));
+  const auto prefixes = rib.prefixes();
+  ASSERT_EQ(prefixes.size(), 2u);
+  EXPECT_EQ(prefixes[0], P4("60.1.0.0/20"));
+  EXPECT_EQ(prefixes[1], P4("60.2.0.0/20"));
+}
+
+TEST(DiffSnapshotsTest, AddRemoveModify) {
+  Rib rib;
+  rib.insert(MakeRoute("60.1.0.0/20", 1));
+  rib.insert(MakeRoute("60.2.0.0/20", 1));
+  const auto before = rib.snapshot();
+
+  rib.withdraw(P4("60.1.0.0/20"), 1);          // Removed.
+  Route modified = MakeRoute("60.2.0.0/20", 1);
+  modified.attrs.med = 77;
+  rib.insert(modified);                        // Modified.
+  rib.insert(MakeRoute("60.3.0.0/20", 2));     // Added.
+  const auto after = rib.snapshot();
+
+  const RibDiff diff = DiffSnapshots(before, after);
+  ASSERT_EQ(diff.added.size(), 1u);
+  EXPECT_EQ(diff.added[0].prefix, P4("60.3.0.0/20"));
+  ASSERT_EQ(diff.removed.size(), 1u);
+  EXPECT_EQ(diff.removed[0].prefix, P4("60.1.0.0/20"));
+  ASSERT_EQ(diff.modified.size(), 1u);
+  EXPECT_EQ(diff.modified[0].attrs.med, 77u);
+  EXPECT_EQ(diff.size(), 3u);
+}
+
+TEST(DiffSnapshotsTest, IdenticalSnapshotsAreEmptyDiff) {
+  Rib rib;
+  rib.insert(MakeRoute("60.1.0.0/20", 1));
+  EXPECT_TRUE(DiffSnapshots(rib.snapshot(), rib.snapshot()).empty());
+}
+
+TEST(DiffSnapshotsTest, EmptyToFullAndBack) {
+  Rib rib;
+  rib.insert(MakeRoute("60.1.0.0/20", 1));
+  rib.insert(MakeRoute("60.2.0.0/20", 2));
+  const auto full = rib.snapshot();
+  const RibDiff grow = DiffSnapshots({}, full);
+  EXPECT_EQ(grow.added.size(), 2u);
+  EXPECT_TRUE(grow.removed.empty());
+  const RibDiff shrink = DiffSnapshots(full, {});
+  EXPECT_EQ(shrink.removed.size(), 2u);
+  EXPECT_TRUE(shrink.added.empty());
+}
+
+}  // namespace
+}  // namespace stellar::bgp

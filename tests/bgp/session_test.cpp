@@ -1,0 +1,239 @@
+#include "bgp/session.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stellar::bgp {
+namespace {
+
+net::Prefix4 P4(const char* text) { return net::Prefix4::Parse(text).value(); }
+
+struct SessionPair {
+  sim::EventQueue queue;
+  std::unique_ptr<Session> a;
+  std::unique_ptr<Session> b;
+  std::vector<UpdateMessage> a_received;
+  std::vector<UpdateMessage> b_received;
+
+  explicit SessionPair(SessionConfig ca, SessionConfig cb) {
+    auto [ea, eb] = MakeLink(queue);
+    a = std::make_unique<Session>(queue, ea, ca);
+    b = std::make_unique<Session>(queue, eb, cb);
+    a->set_update_handler([this](const UpdateMessage& u) { a_received.push_back(u); });
+    b->set_update_handler([this](const UpdateMessage& u) { b_received.push_back(u); });
+  }
+
+  void establish() {
+    a->start();
+    b->start();
+    queue.run_until(sim::Seconds(1.0));
+  }
+};
+
+SessionConfig Cfg(Asn asn, std::uint8_t id) {
+  SessionConfig c;
+  c.local_asn = asn;
+  c.router_id = net::IPv4Address(10, 0, 0, id);
+  return c;
+}
+
+TEST(SessionTest, EstablishesViaOpenKeepalive) {
+  SessionPair pair(Cfg(65001, 1), Cfg(65002, 2));
+  pair.establish();
+  EXPECT_TRUE(pair.a->established());
+  EXPECT_TRUE(pair.b->established());
+  EXPECT_EQ(pair.a->peer_asn(), 65002u);
+  EXPECT_EQ(pair.b->peer_asn(), 65001u);
+  EXPECT_FALSE(pair.a->is_ibgp());
+}
+
+TEST(SessionTest, IbgpDetected) {
+  SessionPair pair(Cfg(64500, 1), Cfg(64500, 2));
+  pair.establish();
+  EXPECT_TRUE(pair.a->is_ibgp());
+}
+
+TEST(SessionTest, HoldTimeNegotiatedToMinimum) {
+  SessionConfig ca = Cfg(65001, 1);
+  ca.hold_time_s = 90;
+  SessionConfig cb = Cfg(65002, 2);
+  cb.hold_time_s = 30;
+  SessionPair pair(ca, cb);
+  pair.establish();
+  EXPECT_EQ(pair.a->negotiated_hold_time_s(), 30);
+  EXPECT_EQ(pair.b->negotiated_hold_time_s(), 30);
+}
+
+TEST(SessionTest, UpdateDelivered) {
+  SessionPair pair(Cfg(65001, 1), Cfg(65002, 2));
+  pair.establish();
+  UpdateMessage u;
+  u.attrs.origin = Origin::kIgp;
+  u.attrs.as_path = {{AsPathSegment::Type::kSequence, {65001}}};
+  u.attrs.next_hop = net::IPv4Address(10, 0, 0, 1);
+  u.announced = {{0, P4("60.1.0.0/20")}};
+  pair.a->announce(u);
+  pair.queue.run_until(sim::Seconds(2.0));
+  ASSERT_EQ(pair.b_received.size(), 1u);
+  EXPECT_EQ(pair.b_received[0], u);
+  EXPECT_EQ(pair.a->updates_sent(), 1u);
+  EXPECT_EQ(pair.b->updates_received(), 1u);
+}
+
+TEST(SessionTest, UpdatesBufferedUntilEstablished) {
+  SessionPair pair(Cfg(65001, 1), Cfg(65002, 2));
+  UpdateMessage u;
+  u.attrs.origin = Origin::kIgp;
+  u.attrs.next_hop = net::IPv4Address(10, 0, 0, 1);
+  u.announced = {{0, P4("60.1.0.0/20")}};
+  pair.a->announce(u);  // Before start: must queue, not crash.
+  EXPECT_EQ(pair.a->updates_sent(), 0u);
+  pair.establish();
+  pair.queue.run_until(sim::Seconds(2.0));
+  ASSERT_EQ(pair.b_received.size(), 1u);
+}
+
+TEST(SessionTest, AddPathNegotiationDirections) {
+  SessionConfig ca = Cfg(64500, 1);
+  ca.add_path_tx = true;  // a wants to send path ids.
+  SessionConfig cb = Cfg(64500, 2);
+  cb.add_path_rx = true;  // b is willing to receive them.
+  SessionPair pair(ca, cb);
+  pair.establish();
+  EXPECT_TRUE(pair.a->add_path_tx_negotiated());
+  EXPECT_FALSE(pair.a->add_path_rx_negotiated());
+  EXPECT_TRUE(pair.b->add_path_rx_negotiated());
+  EXPECT_FALSE(pair.b->add_path_tx_negotiated());
+
+  UpdateMessage u;
+  u.attrs.origin = Origin::kIgp;
+  u.attrs.next_hop = net::IPv4Address(1, 1, 1, 1);
+  u.announced = {{7, P4("100.10.10.10/32")}, {9, P4("100.10.10.10/32")}};
+  pair.a->announce(u);
+  pair.queue.run_until(sim::Seconds(2.0));
+  ASSERT_EQ(pair.b_received.size(), 1u);
+  ASSERT_EQ(pair.b_received[0].announced.size(), 2u);
+  EXPECT_EQ(pair.b_received[0].announced[0].path_id, 7u);
+  EXPECT_EQ(pair.b_received[0].announced[1].path_id, 9u);
+}
+
+TEST(SessionTest, AddPathNotNegotiatedWithoutBothSides) {
+  SessionConfig ca = Cfg(65001, 1);
+  ca.add_path_tx = true;
+  SessionPair pair(ca, Cfg(65002, 2));  // b has no ADD-PATH capability.
+  pair.establish();
+  EXPECT_FALSE(pair.a->add_path_tx_negotiated());
+}
+
+TEST(SessionTest, KeepalivesKeepSessionAlive) {
+  SessionConfig ca = Cfg(65001, 1);
+  ca.hold_time_s = 9;
+  SessionConfig cb = Cfg(65002, 2);
+  cb.hold_time_s = 9;
+  SessionPair pair(ca, cb);
+  pair.establish();
+  pair.queue.run_until(sim::Seconds(120.0));
+  EXPECT_TRUE(pair.a->established());
+  EXPECT_TRUE(pair.b->established());
+  EXPECT_GT(pair.a->keepalives_received(), 10u);
+}
+
+TEST(SessionTest, RouteRefreshCapabilityNegotiatedAndDelivered) {
+  SessionPair pair(Cfg(65001, 1), Cfg(65002, 2));
+  pair.establish();
+  EXPECT_TRUE(pair.a->peer_supports_route_refresh());
+  EXPECT_TRUE(pair.b->peer_supports_route_refresh());
+
+  std::vector<bgp::RouteRefreshMessage> received;
+  pair.b->set_refresh_handler(
+      [&received](const RouteRefreshMessage& m) { received.push_back(m); });
+  pair.a->request_route_refresh(kAfiIPv6);
+  pair.queue.run_until(pair.queue.now() + sim::Seconds(1.0));
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].afi, kAfiIPv6);
+  EXPECT_TRUE(pair.a->established());
+}
+
+TEST(SessionTest, RouteRefreshNotSentBeforeEstablished) {
+  SessionPair pair(Cfg(65001, 1), Cfg(65002, 2));
+  std::vector<bgp::RouteRefreshMessage> received;
+  pair.b->set_refresh_handler(
+      [&received](const RouteRefreshMessage& m) { received.push_back(m); });
+  pair.a->request_route_refresh();  // Idle: must be a no-op, not a crash.
+  pair.establish();
+  pair.queue.run_until(pair.queue.now() + sim::Seconds(1.0));
+  EXPECT_TRUE(received.empty());
+}
+
+TEST(SessionTest, StopSendsCeaseAndCloses) {
+  SessionPair pair(Cfg(65001, 1), Cfg(65002, 2));
+  pair.establish();
+  pair.a->stop();
+  pair.queue.run_until(sim::Seconds(3.0));
+  EXPECT_EQ(pair.a->state(), SessionState::kClosed);
+  EXPECT_EQ(pair.b->state(), SessionState::kClosed);
+}
+
+TEST(SessionTest, HoldTimerExpiryClosesSilentSession) {
+  SessionConfig ca = Cfg(65001, 1);
+  ca.hold_time_s = 9;
+  SessionConfig cb = Cfg(65002, 2);
+  cb.hold_time_s = 9;
+  auto pair = std::make_unique<SessionPair>(ca, cb);
+  pair->establish();
+  ASSERT_TRUE(pair->a->established());
+  // The peer's router dies silently: destroying the Session stops its
+  // keepalives without closing the transport.
+  sim::EventQueue& queue = pair->queue;
+  Session& a = *pair->a;
+  pair->b.reset();
+  queue.run_until(queue.now() + sim::Seconds(30.0));
+  EXPECT_EQ(a.state(), SessionState::kClosed);
+}
+
+TEST(SessionTest, GarbageBytesTerminateSession) {
+  sim::EventQueue queue;
+  auto [ea, eb] = MakeLink(queue);
+  Session session(queue, ea, Cfg(65001, 1));
+  session.start();
+  queue.run_until(sim::Seconds(0.5));
+  eb->send(std::vector<std::uint8_t>(32, 0x00));  // Invalid marker.
+  queue.run_until(sim::Seconds(1.0));
+  EXPECT_EQ(session.state(), SessionState::kClosed);
+}
+
+TEST(SessionTest, StateCallbacksFire) {
+  SessionPair pair(Cfg(65001, 1), Cfg(65002, 2));
+  std::vector<SessionState> states;
+  pair.a->set_state_handler([&](SessionState s) { states.push_back(s); });
+  pair.establish();
+  ASSERT_GE(states.size(), 3u);
+  EXPECT_EQ(states[0], SessionState::kOpenSent);
+  EXPECT_EQ(states[1], SessionState::kOpenConfirm);
+  EXPECT_EQ(states[2], SessionState::kEstablished);
+}
+
+TEST(EndpointTest, CloseReachesPeer) {
+  sim::EventQueue queue;
+  auto [ea, eb] = MakeLink(queue);
+  bool closed = false;
+  eb->set_close_handler([&] { closed = true; });
+  ea->close();
+  queue.run_until(sim::Seconds(1.0));
+  EXPECT_TRUE(closed);
+  EXPECT_TRUE(eb->closed());
+}
+
+TEST(EndpointTest, SendAfterCloseIsNoop) {
+  sim::EventQueue queue;
+  auto [ea, eb] = MakeLink(queue);
+  int received = 0;
+  eb->set_receive_handler([&](std::span<const std::uint8_t>) { ++received; });
+  ea->close();
+  queue.run_until(sim::Seconds(1.0));
+  ea->send({1, 2, 3});
+  queue.run_until(sim::Seconds(2.0));
+  EXPECT_EQ(received, 0);
+}
+
+}  // namespace
+}  // namespace stellar::bgp

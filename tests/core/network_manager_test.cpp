@@ -1,0 +1,164 @@
+#include "core/network_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/ports.hpp"
+
+namespace stellar::core {
+namespace {
+
+ConfigChange Install(const std::string& key) {
+  ConfigChange c;
+  c.op = ConfigChange::Op::kInstall;
+  c.member = 65001;
+  c.port = 11;
+  c.rule.match.dst_prefix = net::Prefix4::Parse("100.10.10.10/32").value();
+  c.rule.match.proto = net::IpProto::kUdp;
+  c.rule.match.src_port = filter::PortRange::Single(net::kPortNtp);
+  c.rule.action = filter::FilterAction::kDrop;
+  c.key = key;
+  return c;
+}
+
+ConfigChange Remove(const std::string& key) {
+  ConfigChange c = Install(key);
+  c.op = ConfigChange::Op::kRemove;
+  return c;
+}
+
+class RecordingCompiler final : public ConfigCompiler {
+ public:
+  util::Result<void> apply(const ConfigChange& change) override {
+    applied.push_back({change.key, queue->now().count()});
+    if (fail_all) return util::MakeError("F1", "forced failure");
+    return {};
+  }
+  [[nodiscard]] std::string_view name() const override { return "recording"; }
+
+  sim::EventQueue* queue = nullptr;
+  bool fail_all = false;
+  std::vector<std::pair<std::string, double>> applied;
+};
+
+struct NmFixture {
+  sim::EventQueue queue;
+  RecordingCompiler compiler;
+  std::unique_ptr<NetworkManager> nm;
+
+  explicit NmFixture(NetworkManager::Config config = {}) {
+    compiler.queue = &queue;
+    nm = std::make_unique<NetworkManager>(queue, compiler, config);
+  }
+};
+
+TEST(NetworkManagerTest, AppliesWithinBurstImmediately) {
+  NmFixture f({.rate_per_s = 4.0, .max_burst_size = 5.0});
+  for (int i = 0; i < 5; ++i) f.nm->enqueue(Install("k" + std::to_string(i)));
+  f.queue.run_until(sim::Seconds(0.01));
+  EXPECT_EQ(f.nm->stats().applied, 5u);
+  for (const auto& [key, at] : f.compiler.applied) EXPECT_LT(at, 0.01);
+}
+
+TEST(NetworkManagerTest, RateLimitsBeyondBurst) {
+  NmFixture f({.rate_per_s = 4.0, .max_burst_size = 1.0});
+  for (int i = 0; i < 9; ++i) f.nm->enqueue(Install("k" + std::to_string(i)));
+  f.queue.run_until(sim::Seconds(10.0));
+  EXPECT_EQ(f.nm->stats().applied, 9u);
+  // 1 immediate + 8 at 0.25 s spacing => last at 2.0 s.
+  EXPECT_NEAR(f.compiler.applied.back().second, 2.0, 0.05);
+  // Long-term rate respected: count applied in the first second.
+  int within_1s = 0;
+  for (const auto& [key, at] : f.compiler.applied) {
+    if (at <= 1.0) ++within_1s;
+  }
+  EXPECT_LE(within_1s, 5);  // burst(1) + 4/s.
+}
+
+TEST(NetworkManagerTest, WaitingTimesRecorded) {
+  NmFixture f({.rate_per_s = 1.0, .max_burst_size = 1.0});
+  for (int i = 0; i < 3; ++i) f.nm->enqueue(Install("k" + std::to_string(i)));
+  f.queue.run_until(sim::Seconds(10.0));
+  const auto& waits = f.nm->stats().waiting_times_s;
+  ASSERT_EQ(waits.size(), 3u);
+  EXPECT_NEAR(waits[0], 0.0, 0.01);
+  EXPECT_NEAR(waits[1], 1.0, 0.05);
+  EXPECT_NEAR(waits[2], 2.0, 0.05);
+}
+
+TEST(NetworkManagerTest, FailuresCountedWithCodes) {
+  NmFixture f({.rate_per_s = 100.0, .max_burst_size = 10.0});
+  f.compiler.fail_all = true;
+  f.nm->enqueue(Install("k"));
+  f.queue.run_until(sim::Seconds(1.0));
+  EXPECT_EQ(f.nm->stats().applied, 0u);
+  EXPECT_EQ(f.nm->stats().failed, 1u);
+  ASSERT_EQ(f.nm->stats().failure_codes.size(), 1u);
+  EXPECT_EQ(f.nm->stats().failure_codes[0], "F1");
+}
+
+TEST(NetworkManagerTest, QueueDrainsInFifoOrder) {
+  NmFixture f({.rate_per_s = 10.0, .max_burst_size = 1.0});
+  for (int i = 0; i < 5; ++i) f.nm->enqueue(Install("k" + std::to_string(i)));
+  f.queue.run_until(sim::Seconds(5.0));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(f.compiler.applied[static_cast<std::size_t>(i)].first,
+              "k" + std::to_string(i));
+  }
+}
+
+TEST(NetworkManagerTest, SustainedLoadAtFractionalRateTerminates) {
+  // Regression for the 5/s deadlock: a long backlog drained at a rate whose
+  // period is not exactly representable must still make progress at large
+  // simulation timestamps.
+  NmFixture f({.rate_per_s = 5.0, .max_burst_size = 5.0});
+  f.queue.run_until(sim::Seconds(80'000.0));
+  for (int i = 0; i < 2000; ++i) f.nm->enqueue(Install("k" + std::to_string(i)));
+  f.queue.run();
+  EXPECT_EQ(f.nm->stats().applied, 2000u);
+}
+
+TEST(NetworkManagerTest, LateEnqueueAfterIdlePeriod) {
+  NmFixture f({.rate_per_s = 1.0, .max_burst_size = 1.0});
+  f.nm->enqueue(Install("a"));
+  f.queue.run_until(sim::Seconds(100.0));
+  f.nm->enqueue(Install("b"));
+  f.queue.run_until(sim::Seconds(101.0));
+  EXPECT_EQ(f.nm->stats().applied, 2u);
+  EXPECT_NEAR(f.compiler.applied[1].second, 100.0, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// QosConfigCompiler against a real edge router.
+
+TEST(QosConfigCompilerTest, InstallRemoveLifecycle) {
+  filter::EdgeRouter er("er1", filter::TcamLimits{});
+  er.add_port(11, 1000.0);
+  QosConfigCompiler compiler(er);
+
+  ASSERT_TRUE(compiler.apply(Install("key1")).ok());
+  EXPECT_EQ(er.policy(11).rule_count(), 1u);
+  ASSERT_TRUE(compiler.rule_id("key1").has_value());
+
+  ASSERT_TRUE(compiler.apply(Remove("key1")).ok());
+  EXPECT_EQ(er.policy(11).rule_count(), 0u);
+  EXPECT_FALSE(compiler.rule_id("key1").has_value());
+}
+
+TEST(QosConfigCompilerTest, RemoveUnknownKeyFails) {
+  filter::EdgeRouter er("er1", filter::TcamLimits{});
+  er.add_port(11, 1000.0);
+  QosConfigCompiler compiler(er);
+  EXPECT_FALSE(compiler.apply(Remove("ghost")).ok());
+}
+
+TEST(QosConfigCompilerTest, TcamErrorPropagates) {
+  filter::EdgeRouter er("er1", filter::TcamLimits{.l3l4_criteria_pool = 1, .mac_filter_pool = 0});
+  er.add_port(11, 1000.0);
+  QosConfigCompiler compiler(er);
+  const auto result = compiler.apply(Install("key1"));  // Needs 3 criteria.
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "F1");
+}
+
+}  // namespace
+}  // namespace stellar::core

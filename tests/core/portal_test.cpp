@@ -1,0 +1,93 @@
+#include "core/portal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/ports.hpp"
+
+namespace stellar::core {
+namespace {
+
+TEST(RulePortalTest, PredefinedCatalogCoversAmplificationServices) {
+  RulePortal portal;
+  EXPECT_GE(portal.predefined_count(), 8u);
+  // Rule 1 is NTP per the catalog order.
+  const MatchTemplate* ntp = portal.lookup(1, 65001);
+  ASSERT_NE(ntp, nullptr);
+  EXPECT_EQ(ntp->proto, net::IpProto::kUdp);
+  ASSERT_TRUE(ntp->src_port.has_value());
+  EXPECT_EQ(ntp->src_port->lo, net::kPortNtp);
+
+  // The catalog includes memcached and the fragments rule (port 0).
+  bool has_memcached = false;
+  bool has_fragments = false;
+  for (const auto& [id, tmpl] : portal.predefined()) {
+    if (tmpl.src_port && tmpl.src_port->lo == net::kPortMemcached) has_memcached = true;
+    if (tmpl.src_port && tmpl.src_port->lo == 0 && tmpl.src_port->is_single()) {
+      has_fragments = true;
+    }
+  }
+  EXPECT_TRUE(has_memcached);
+  EXPECT_TRUE(has_fragments);
+}
+
+TEST(RulePortalTest, PredefinedVisibleToEveryMember) {
+  RulePortal portal;
+  EXPECT_NE(portal.lookup(1, 65001), nullptr);
+  EXPECT_NE(portal.lookup(1, 65999), nullptr);
+}
+
+TEST(RulePortalTest, UnknownIdIsNull) {
+  RulePortal portal;
+  EXPECT_EQ(portal.lookup(999, 65001), nullptr);
+}
+
+TEST(RulePortalTest, CustomRuleVisibleOnlyToOwner) {
+  RulePortal portal;
+  MatchTemplate custom;
+  custom.description = "weird game-server attack";
+  custom.proto = net::IpProto::kUdp;
+  custom.dst_port = filter::PortRange{27'000, 27'100};
+  const std::uint16_t id = portal.define_custom_rule(65001, custom);
+  EXPECT_GE(id, 1000);
+  ASSERT_NE(portal.lookup(id, 65001), nullptr);
+  EXPECT_EQ(portal.lookup(id, 65002), nullptr);
+}
+
+TEST(RulePortalTest, CustomIdsAreUnique) {
+  RulePortal portal;
+  const auto a = portal.define_custom_rule(65001, MatchTemplate{});
+  const auto b = portal.define_custom_rule(65001, MatchTemplate{});
+  EXPECT_NE(a, b);
+}
+
+TEST(MatchTemplateTest, BindAttachesVictimPrefix) {
+  MatchTemplate tmpl;
+  tmpl.proto = net::IpProto::kUdp;
+  tmpl.src_port = filter::PortRange::Single(123);
+  const auto victim = net::Prefix4::Parse("100.10.10.10/32").value();
+  const filter::MatchCriteria m = tmpl.bind(victim);
+  EXPECT_EQ(m.dst_prefix, victim);
+  EXPECT_EQ(m.proto, net::IpProto::kUdp);
+
+  net::FlowKey flow;
+  flow.dst_ip = net::IPv4Address(100, 10, 10, 10);
+  flow.proto = net::IpProto::kUdp;
+  flow.src_port = 123;
+  EXPECT_TRUE(m.matches(flow));
+  flow.dst_ip = net::IPv4Address(1, 2, 3, 4);  // A template never leaks to other dsts.
+  EXPECT_FALSE(m.matches(flow));
+}
+
+TEST(MatchTemplateTest, BindPreservesAllFields) {
+  MatchTemplate tmpl;
+  tmpl.src_prefix = net::Prefix4::Parse("9.9.0.0/16").value();
+  tmpl.src_mac = net::MacAddress::ForRouter(65007);
+  tmpl.dst_port = filter::PortRange::Single(80);
+  const auto m = tmpl.bind(net::Prefix4::Parse("100.10.10.0/24").value());
+  EXPECT_EQ(m.src_prefix, tmpl.src_prefix);
+  EXPECT_EQ(m.src_mac, tmpl.src_mac);
+  EXPECT_EQ(m.dst_port, tmpl.dst_port);
+}
+
+}  // namespace
+}  // namespace stellar::core

@@ -1,0 +1,145 @@
+#include "core/sdn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/network_manager.hpp"
+#include "net/ports.hpp"
+
+namespace stellar::core {
+namespace {
+
+net::FlowSample Flow(net::IpProto proto, std::uint16_t src_port, double mbps) {
+  net::FlowSample s;
+  s.key.src_mac = net::MacAddress::ForRouter(65001);
+  s.key.src_ip = net::IPv4Address(1, 2, 3, 4);
+  s.key.dst_ip = net::IPv4Address(100, 10, 10, 10);
+  s.key.proto = proto;
+  s.key.src_port = src_port;
+  s.key.dst_port = 5555;
+  s.bytes = static_cast<std::uint64_t>(mbps * 1e6 / 8.0);
+  s.packets = s.bytes / 1200;
+  return s;
+}
+
+FlowEntry DropNtpEntry(std::uint64_t cookie, std::uint16_t priority = 100) {
+  FlowEntry e;
+  e.cookie = cookie;
+  e.priority = priority;
+  e.match.proto = net::IpProto::kUdp;
+  e.match.src_port = filter::PortRange::Single(net::kPortNtp);
+  e.action = filter::FilterAction::kDrop;
+  return e;
+}
+
+TEST(FlowTableTest, AddRemoveCapacity) {
+  FlowTable table(2);
+  EXPECT_TRUE(table.add(DropNtpEntry(1)).ok());
+  EXPECT_TRUE(table.add(DropNtpEntry(2)).ok());
+  const auto full = table.add(DropNtpEntry(3));
+  ASSERT_FALSE(full.ok());
+  EXPECT_EQ(full.error().code, "sdn.table_full");
+  EXPECT_TRUE(table.remove(1));
+  EXPECT_FALSE(table.remove(1));
+  EXPECT_TRUE(table.add(DropNtpEntry(3)).ok());
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(FlowTableTest, DuplicateCookieRejected) {
+  FlowTable table(10);
+  EXPECT_TRUE(table.add(DropNtpEntry(1)).ok());
+  EXPECT_FALSE(table.add(DropNtpEntry(1)).ok());
+}
+
+TEST(FlowTableTest, HighestPriorityWins) {
+  FlowTable table(10);
+  FlowEntry allow = DropNtpEntry(1, 50);
+  allow.action = filter::FilterAction::kForward;
+  ASSERT_TRUE(table.add(allow).ok());
+  ASSERT_TRUE(table.add(DropNtpEntry(2, 200)).ok());
+  const FlowEntry* hit = table.match(Flow(net::IpProto::kUdp, 123, 1).key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->cookie, 2u);
+}
+
+TEST(FlowTableTest, NoMatchReturnsNull) {
+  FlowTable table(10);
+  ASSERT_TRUE(table.add(DropNtpEntry(1)).ok());
+  EXPECT_EQ(table.match(Flow(net::IpProto::kTcp, 443, 1).key), nullptr);
+}
+
+TEST(FlowTableTest, ApplyDropsAndCounts) {
+  FlowTable table(10);
+  ASSERT_TRUE(table.add(DropNtpEntry(1)).ok());
+  const std::vector<net::FlowSample> demand{Flow(net::IpProto::kUdp, 123, 800),
+                                            Flow(net::IpProto::kTcp, 443, 100)};
+  const auto r = table.apply(demand, 1000.0, 1.0);
+  EXPECT_NEAR(r.rule_dropped_mbps, 800.0, 1.0);
+  EXPECT_NEAR(r.delivered_mbps, 100.0, 1.0);
+  const FlowEntry* e = table.entry(1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_GT(e->byte_count, 0u);
+}
+
+TEST(FlowTableTest, MeterShapesTraffic) {
+  FlowTable table(10);
+  FlowEntry meter = DropNtpEntry(1);
+  meter.action = filter::FilterAction::kShape;
+  meter.meter_rate_mbps = 200.0;
+  ASSERT_TRUE(table.add(meter).ok());
+  const std::vector<net::FlowSample> demand{Flow(net::IpProto::kUdp, 123, 1000)};
+  const auto r = table.apply(demand, 10'000.0, 1.0);
+  EXPECT_NEAR(r.delivered_mbps, 200.0, 1.0);
+  EXPECT_NEAR(r.shaper_dropped_mbps, 800.0, 1.0);
+}
+
+TEST(SdnConfigCompilerTest, InstallRemoveLifecycle) {
+  FlowTable table(10);
+  SdnConfigCompiler compiler(table);
+  ConfigChange install;
+  install.op = ConfigChange::Op::kInstall;
+  install.port = 11;
+  install.rule.match.proto = net::IpProto::kUdp;
+  install.rule.match.src_port = filter::PortRange::Single(123);
+  install.rule.action = filter::FilterAction::kDrop;
+  install.key = "k1";
+  ASSERT_TRUE(compiler.apply(install).ok());
+  EXPECT_EQ(table.size(), 1u);
+
+  ConfigChange remove = install;
+  remove.op = ConfigChange::Op::kRemove;
+  ASSERT_TRUE(compiler.apply(remove).ok());
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(compiler.apply(remove).ok());  // Unknown key now.
+}
+
+TEST(SdnConfigCompilerTest, TableFullPropagates) {
+  FlowTable table(0);
+  SdnConfigCompiler compiler(table);
+  ConfigChange install;
+  install.op = ConfigChange::Op::kInstall;
+  install.key = "k1";
+  const auto result = compiler.apply(install);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "sdn.table_full");
+}
+
+TEST(SdnConfigCompilerTest, MoreSpecificRulesGetHigherPriority) {
+  FlowTable table(10);
+  SdnConfigCompiler compiler(table);
+  ConfigChange coarse;
+  coarse.op = ConfigChange::Op::kInstall;
+  coarse.rule.match.proto = net::IpProto::kUdp;
+  coarse.key = "coarse";
+  ConfigChange fine = coarse;
+  fine.rule.match.src_port = filter::PortRange::Single(123);
+  fine.rule.match.dst_prefix = net::Prefix4::Parse("100.10.10.10/32").value();
+  fine.key = "fine";
+  ASSERT_TRUE(compiler.apply(coarse).ok());
+  ASSERT_TRUE(compiler.apply(fine).ok());
+  const FlowEntry* hit = table.match(Flow(net::IpProto::kUdp, 123, 1).key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->match.src_port->lo, 123);
+}
+
+}  // namespace
+}  // namespace stellar::core

@@ -1,0 +1,162 @@
+// RFC 8092 large-community signaling variant: the extended-community
+// encoding cannot carry a 4-byte IXP ASN in its two-octet AS field, so IXPs
+// with 32-bit ASNs signal via large communities (ASN:function:value).
+#include <gtest/gtest.h>
+
+#include "core/stellar.hpp"
+#include "net/ports.hpp"
+
+namespace stellar::core {
+namespace {
+
+net::Prefix4 P4(const char* text) { return net::Prefix4::Parse(text).value(); }
+
+constexpr std::uint32_t kBigIxpAsn = 4'200'000'001;  // 4-byte private-use range.
+
+TEST(SignalLargeTest, RoundTrip) {
+  Signal signal;
+  signal.rules.push_back({RuleKind::kUdpSrcPort, net::kPortNtp});
+  signal.rules.push_back({RuleKind::kTcpDstPort, 80});
+  signal.shape_rate_mbps = 250.0;
+  const auto lcs = EncodeSignalLarge(kBigIxpAsn, signal);
+  ASSERT_EQ(lcs.size(), 3u);
+  EXPECT_EQ(lcs[0].global_admin, kBigIxpAsn);
+  const auto decoded = DecodeSignalLarge(kBigIxpAsn, lcs);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, signal);
+}
+
+TEST(SignalLargeTest, IgnoresForeignNamespace) {
+  Signal signal;
+  signal.rules.push_back({RuleKind::kUdpSrcPort, 123});
+  auto lcs = EncodeSignalLarge(kBigIxpAsn, signal);
+  lcs.push_back(bgp::LargeCommunity{999, 1, 2});  // Someone else's community.
+  const auto decoded = DecodeSignalLarge(kBigIxpAsn, lcs);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->rules.size(), 1u);
+  EXPECT_FALSE(HasStellarSignalLarge(kBigIxpAsn, {&lcs.back(), 1}));
+  EXPECT_TRUE(HasStellarSignalLarge(kBigIxpAsn, lcs));
+}
+
+TEST(SignalLargeTest, RejectsUnknownKindAndOversizedValue) {
+  const bgp::LargeCommunity bad_kind{kBigIxpAsn, (0x80u << 24) | 99u, 1};
+  EXPECT_FALSE(DecodeSignalLarge(kBigIxpAsn, {&bad_kind, 1}).ok());
+  const bgp::LargeCommunity bad_value{kBigIxpAsn, (0x80u << 24) | 2u, 70'000};
+  EXPECT_FALSE(DecodeSignalLarge(kBigIxpAsn, {&bad_value, 1}).ok());
+}
+
+TEST(SignalLargeTest, WireRoundTripThroughUpdate) {
+  bgp::UpdateMessage u;
+  u.attrs.origin = bgp::Origin::kIgp;
+  u.attrs.next_hop = net::IPv4Address(1, 1, 1, 1);
+  Signal signal;
+  signal.rules.push_back({RuleKind::kUdpSrcPort, net::kPortNtp});
+  u.attrs.large_communities = EncodeSignalLarge(kBigIxpAsn, signal);
+  u.announced = {{0, P4("100.10.10.10/32")}};
+  const auto decoded = bgp::Decode(bgp::Encode(u));
+  ASSERT_TRUE(decoded.ok());
+  const auto& attrs = std::get<bgp::UpdateMessage>(*decoded).attrs;
+  const auto parsed = DecodeSignalLarge(kBigIxpAsn, attrs.large_communities);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, signal);
+}
+
+/// End-to-end on an IXP with a 4-byte ASN, where extended-community
+/// signaling is impossible.
+TEST(SignalLargeTest, EndToEndOn4ByteAsnIxp) {
+  sim::EventQueue queue;
+  ixp::Ixp::Config config;
+  config.asn = kBigIxpAsn;
+  ixp::Ixp ixp(queue, config);
+  ixp::MemberSpec v;
+  v.asn = 65001;
+  v.port_capacity_mbps = 1'000.0;
+  v.address_space = P4("100.10.10.0/24");
+  auto& victim = ixp.add_member(v);
+  ixp::MemberSpec o;
+  o.asn = 65002;
+  o.address_space = P4("60.2.0.0/20");
+  auto& other = ixp.add_member(o);
+  StellarSystem stellar(ixp);
+  ixp.settle(30.0);
+
+  Signal signal;
+  signal.rules.push_back({RuleKind::kUdpSrcPort, net::kPortNtp});
+  SignalAdvancedBlackholingLarge(victim, ixp.route_server(), P4("100.10.10.10/32"), signal);
+  ixp.settle(10.0);
+
+  EXPECT_EQ(ixp.edge_router().policy(victim.info().port).rule_count(), 1u);
+  EXPECT_EQ(stellar.controller().stats().signals_decoded, 1u);
+
+  // The rule filters the attack.
+  net::FlowSample ntp;
+  ntp.key.src_mac = other.info().mac;
+  ntp.key.src_ip = net::IPv4Address(60, 2, 0, 5);
+  ntp.key.dst_ip = net::IPv4Address(100, 10, 10, 10);
+  ntp.key.proto = net::IpProto::kUdp;
+  ntp.key.src_port = net::kPortNtp;
+  ntp.key.dst_port = 5555;
+  ntp.bytes = static_cast<std::uint64_t>(100e6 / 8.0);
+  const auto report = ixp.deliver_bin({&ntp, 1}, 1.0);
+  EXPECT_NEAR(report.rule_dropped_mbps, 100.0, 1.0);
+}
+
+TEST(SignalLargeTest, LargeCommunitiesStrippedOnMemberExport) {
+  sim::EventQueue queue;
+  ixp::Ixp ixp(queue);
+  ixp::MemberSpec v;
+  v.asn = 65001;
+  v.address_space = P4("100.10.10.0/24");
+  auto& victim = ixp.add_member(v);
+  ixp::MemberSpec o;
+  o.asn = 65002;
+  o.address_space = P4("60.2.0.0/20");
+  o.policy.accepts_more_specifics = true;
+  auto& other = ixp.add_member(o);
+  ixp.settle(30.0);
+
+  Signal signal;
+  signal.rules.push_back({RuleKind::kUdpSrcPort, net::kPortNtp});
+  SignalAdvancedBlackholingLarge(victim, ixp.route_server(), P4("100.10.10.10/32"), signal,
+                                 /*also_propagate_to_members=*/true);
+  ixp.settle(10.0);
+
+  const auto routes = other.rib().routes_for(P4("100.10.10.10/32"));
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_TRUE(routes[0].attrs.large_communities.empty());
+}
+
+TEST(SignalLargeTest, MergedNamespacesUnionRules) {
+  // A member can signal some rules via extended and some via large
+  // communities on the same route; the controller honors the union.
+  sim::EventQueue queue;
+  ixp::Ixp ixp(queue);
+  ixp::MemberSpec v;
+  v.asn = 65001;
+  v.address_space = P4("100.10.10.0/24");
+  auto& victim = ixp.add_member(v);
+  StellarSystem stellar(ixp);
+  ixp.settle(30.0);
+
+  Signal ext_part;
+  ext_part.rules.push_back({RuleKind::kUdpSrcPort, net::kPortNtp});
+  Signal large_part;
+  large_part.rules.push_back({RuleKind::kUdpSrcPort, net::kPortDns});
+
+  bgp::UpdateMessage update;
+  update.attrs.origin = bgp::Origin::kIgp;
+  update.attrs.as_path = {{bgp::AsPathSegment::Type::kSequence, {65001}}};
+  update.attrs.next_hop = victim.info().router_ip;
+  update.attrs.communities = {ixp.route_server().announce_to_none()};
+  update.attrs.extended_communities =
+      EncodeSignal(static_cast<std::uint16_t>(ixp.config().asn), ext_part);
+  update.attrs.large_communities = EncodeSignalLarge(ixp.config().asn, large_part);
+  update.announced = {{0, P4("100.10.10.10/32")}};
+  victim.session()->announce(std::move(update));
+  ixp.settle(10.0);
+
+  EXPECT_EQ(ixp.edge_router().policy(victim.info().port).rule_count(), 2u);
+}
+
+}  // namespace
+}  // namespace stellar::core

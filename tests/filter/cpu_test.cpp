@@ -1,0 +1,59 @@
+#include "filter/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace stellar::filter {
+namespace {
+
+TEST(ControlPlaneCpuTest, CalibratedOperatingPoint) {
+  // The paper: 15% CPU cap sustains a median of 4.33 rule updates/s.
+  ControlPlaneCpu cpu;
+  EXPECT_NEAR(cpu.expected_percent(4.33), 15.0 + cpu.config().idle_percent, 0.25);
+  EXPECT_NEAR(cpu.max_update_rate(), 4.33, 0.1);
+}
+
+TEST(ControlPlaneCpuTest, ExpectedIsLinearInRate) {
+  ControlPlaneCpu cpu;
+  const double base = cpu.expected_percent(0.0);
+  const double one = cpu.expected_percent(1.0);
+  const double two = cpu.expected_percent(2.0);
+  EXPECT_NEAR(two - one, one - base, 1e-9);
+}
+
+TEST(ControlPlaneCpuTest, MeasurementIsNoisyButUnbiased) {
+  ControlPlaneCpu cpu;
+  util::Rng rng(1);
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) {
+    samples.push_back(cpu.measure_interval(/*updates=*/20.0, /*interval_s=*/5.0, rng));
+  }
+  // 4 updates/s expected.
+  EXPECT_NEAR(util::Mean(samples), cpu.expected_percent(4.0), 0.1);
+  EXPECT_GT(util::SampleStdDev(samples), 0.05);
+}
+
+TEST(ControlPlaneCpuTest, MeasurementClampedToValidRange) {
+  CpuModelConfig config;
+  config.percent_per_update_rate = 50.0;
+  ControlPlaneCpu cpu(config);
+  util::Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const double v = cpu.measure_interval(1000.0, 1.0, rng);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 100.0);
+  }
+}
+
+TEST(ControlPlaneCpuTest, ZeroIntervalMeansIdle) {
+  ControlPlaneCpu cpu;
+  util::Rng rng(3);
+  const double v = cpu.measure_interval(10.0, 0.0, rng);
+  EXPECT_LT(v, 2.0);  // Idle + noise only.
+}
+
+}  // namespace
+}  // namespace stellar::filter

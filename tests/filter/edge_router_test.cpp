@@ -1,0 +1,110 @@
+#include "filter/edge_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/ports.hpp"
+
+namespace stellar::filter {
+namespace {
+
+net::FlowSample Flow(net::IpProto proto, std::uint16_t src_port, double mbps) {
+  net::FlowSample s;
+  s.key.src_mac = net::MacAddress::ForRouter(65001);
+  s.key.src_ip = net::IPv4Address(1, 2, 3, 4);
+  s.key.dst_ip = net::IPv4Address(100, 10, 10, 10);
+  s.key.proto = proto;
+  s.key.src_port = src_port;
+  s.key.dst_port = 5555;
+  s.bytes = static_cast<std::uint64_t>(mbps * 1e6 / 8.0);
+  return s;
+}
+
+FilterRule DropNtp() {
+  FilterRule rule;
+  rule.match.proto = net::IpProto::kUdp;
+  rule.match.src_port = PortRange::Single(net::kPortNtp);
+  rule.action = FilterAction::kDrop;
+  return rule;
+}
+
+TEST(EdgeRouterTest, PortManagement) {
+  EdgeRouter er("er1", TcamLimits{});
+  er.add_port(1, 1000.0);
+  er.add_port(2, 10'000.0);
+  EXPECT_TRUE(er.has_port(1));
+  EXPECT_FALSE(er.has_port(3));
+  EXPECT_DOUBLE_EQ(er.port_capacity_mbps(2), 10'000.0);
+  EXPECT_EQ(er.ports().size(), 2u);
+  EXPECT_THROW((void)er.port_capacity_mbps(3), std::out_of_range);
+  EXPECT_THROW(er.add_port(4, 0.0), std::invalid_argument);
+}
+
+TEST(EdgeRouterTest, InstallAndRemoveRule) {
+  EdgeRouter er("er1", TcamLimits{});
+  er.add_port(1, 1000.0);
+  const auto id = er.install_rule(1, DropNtp());
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(er.policy(1).rule_count(), 1u);
+  EXPECT_EQ(er.config_ops(), 1u);
+  EXPECT_TRUE(er.remove_rule(1, *id));
+  EXPECT_EQ(er.policy(1).rule_count(), 0u);
+  EXPECT_EQ(er.config_ops(), 2u);
+  EXPECT_FALSE(er.remove_rule(1, *id));
+}
+
+TEST(EdgeRouterTest, InstallOnUnknownPortFails) {
+  EdgeRouter er("er1", TcamLimits{});
+  const auto id = er.install_rule(9, DropNtp());
+  EXPECT_FALSE(id.ok());
+  EXPECT_EQ(id.error().code, "router.no_port");
+}
+
+TEST(EdgeRouterTest, TcamExhaustionSurfacesAsF1) {
+  EdgeRouter er("er1", TcamLimits{.l3l4_criteria_pool = 2, .mac_filter_pool = 0});
+  er.add_port(1, 1000.0);
+  ASSERT_TRUE(er.install_rule(1, DropNtp()).ok());  // 2 criteria.
+  const auto second = er.install_rule(1, DropNtp());
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code, "F1");
+}
+
+TEST(EdgeRouterTest, RemoveReleasesTcam) {
+  EdgeRouter er("er1", TcamLimits{.l3l4_criteria_pool = 2, .mac_filter_pool = 0});
+  er.add_port(1, 1000.0);
+  const auto id = er.install_rule(1, DropNtp());
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(er.remove_rule(1, *id));
+  EXPECT_EQ(er.tcam().l3l4_in_use(), 0);
+  EXPECT_TRUE(er.install_rule(1, DropNtp()).ok());
+}
+
+TEST(EdgeRouterTest, DeliverAppliesPolicyAndAccumulatesCounters) {
+  EdgeRouter er("er1", TcamLimits{});
+  er.add_port(1, 1000.0);
+  const auto id = er.install_rule(1, DropNtp());
+  ASSERT_TRUE(id.ok());
+  const std::vector<net::FlowSample> demand{Flow(net::IpProto::kUdp, 123, 500),
+                                            Flow(net::IpProto::kTcp, 443, 100)};
+  const auto r1 = er.deliver(1, demand, 1.0);
+  EXPECT_NEAR(r1.rule_dropped_mbps, 500.0, 1.0);
+  const auto r2 = er.deliver(1, demand, 1.0);
+  (void)r2;
+  const RuleCounters total = er.counters(*id);
+  // Two bins of 500 Mbps dropped.
+  EXPECT_NEAR(static_cast<double>(total.dropped_bytes), 2 * 500e6 / 8.0, 1e6);
+}
+
+TEST(EdgeRouterTest, DeliverOnUnknownPortThrows) {
+  EdgeRouter er("er1", TcamLimits{});
+  EXPECT_THROW(er.deliver(1, {}, 1.0), std::out_of_range);
+}
+
+TEST(EdgeRouterTest, CountersForUnknownRuleAreZero) {
+  EdgeRouter er("er1", TcamLimits{});
+  const RuleCounters c = er.counters(999);
+  EXPECT_EQ(c.matched_bytes, 0u);
+  EXPECT_EQ(c.dropped_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace stellar::filter

@@ -1,0 +1,186 @@
+#include "filter/qos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/ports.hpp"
+
+namespace stellar::filter {
+namespace {
+
+constexpr double kBin = 1.0;
+
+net::FlowSample Flow(net::IpProto proto, std::uint16_t src_port, double mbps,
+                     std::uint16_t dst_port = 5555) {
+  net::FlowSample s;
+  s.key.src_mac = net::MacAddress::ForRouter(65001);
+  s.key.src_ip = net::IPv4Address(1, 2, 3, 4);
+  s.key.dst_ip = net::IPv4Address(100, 10, 10, 10);
+  s.key.proto = proto;
+  s.key.src_port = src_port;
+  s.key.dst_port = dst_port;
+  s.bytes = static_cast<std::uint64_t>(mbps * 1e6 / 8.0 * kBin);
+  s.packets = s.bytes / 1000;
+  return s;
+}
+
+FilterRule DropNtp() {
+  FilterRule rule;
+  rule.match.proto = net::IpProto::kUdp;
+  rule.match.src_port = PortRange::Single(net::kPortNtp);
+  rule.action = FilterAction::kDrop;
+  return rule;
+}
+
+FilterRule ShapeNtp(double rate_mbps) {
+  FilterRule rule = DropNtp();
+  rule.action = FilterAction::kShape;
+  rule.shape_rate_mbps = rate_mbps;
+  return rule;
+}
+
+TEST(QosPolicyTest, FirstMatchWins) {
+  QosPolicy policy;
+  FilterRule allow;
+  allow.match.src_port = PortRange::Single(123);
+  allow.action = FilterAction::kForward;
+  policy.add_rule(1, allow);
+  policy.add_rule(2, DropNtp());
+  const auto flow = Flow(net::IpProto::kUdp, 123, 10).key;
+  const InstalledRule* hit = policy.classify(flow);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->id, 1u);
+}
+
+TEST(QosPolicyTest, RemoveRule) {
+  QosPolicy policy;
+  policy.add_rule(1, DropNtp());
+  EXPECT_TRUE(policy.remove_rule(1));
+  EXPECT_FALSE(policy.remove_rule(1));
+  EXPECT_EQ(policy.classify(Flow(net::IpProto::kUdp, 123, 1).key), nullptr);
+}
+
+TEST(ApplyEgressQosTest, NoPolicyNoCongestionPassesEverything) {
+  QosPolicy policy;
+  const std::vector<net::FlowSample> demand{Flow(net::IpProto::kTcp, 443, 100),
+                                            Flow(net::IpProto::kUdp, 123, 200)};
+  const auto r = ApplyEgressQos(demand, policy, 1000.0, kBin);
+  EXPECT_NEAR(r.offered_mbps, 300.0, 1.0);
+  EXPECT_NEAR(r.delivered_mbps, 300.0, 1.0);
+  EXPECT_EQ(r.delivered.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.rule_dropped_mbps, 0.0);
+}
+
+TEST(ApplyEgressQosTest, DropRuleDiscardsOnlyMatching) {
+  QosPolicy policy;
+  policy.add_rule(1, DropNtp());
+  const std::vector<net::FlowSample> demand{Flow(net::IpProto::kTcp, 443, 100),
+                                            Flow(net::IpProto::kUdp, 123, 800)};
+  const auto r = ApplyEgressQos(demand, policy, 1000.0, kBin);
+  EXPECT_NEAR(r.rule_dropped_mbps, 800.0, 1.0);
+  EXPECT_NEAR(r.delivered_mbps, 100.0, 1.0);
+  ASSERT_EQ(r.delivered.size(), 1u);
+  EXPECT_EQ(r.delivered[0].key.proto, net::IpProto::kTcp);
+  // Telemetry counters.
+  const auto& counters = r.rule_counters.at(1);
+  EXPECT_GT(counters.matched_bytes, 0u);
+  EXPECT_EQ(counters.matched_bytes, counters.dropped_bytes);
+}
+
+TEST(ApplyEgressQosTest, ShapingEnforcesRateAndKeepsTelemetrySample) {
+  QosPolicy policy;
+  policy.add_rule(1, ShapeNtp(200.0));
+  const std::vector<net::FlowSample> demand{Flow(net::IpProto::kUdp, 123, 1000)};
+  const auto r = ApplyEgressQos(demand, policy, 10'000.0, kBin);
+  EXPECT_NEAR(r.delivered_mbps, 200.0, 1.0);
+  EXPECT_NEAR(r.shaper_dropped_mbps, 800.0, 1.0);
+  const auto& counters = r.rule_counters.at(1);
+  EXPECT_GT(counters.delivered_bytes, 0u);
+  EXPECT_GT(counters.dropped_bytes, counters.delivered_bytes);
+}
+
+TEST(ApplyEgressQosTest, ShapingUnderRatePassesAll) {
+  QosPolicy policy;
+  policy.add_rule(1, ShapeNtp(500.0));
+  const std::vector<net::FlowSample> demand{Flow(net::IpProto::kUdp, 123, 100)};
+  const auto r = ApplyEgressQos(demand, policy, 1000.0, kBin);
+  EXPECT_NEAR(r.delivered_mbps, 100.0, 1.0);
+  EXPECT_NEAR(r.shaper_dropped_mbps, 0.0, 1e-6);
+}
+
+TEST(ApplyEgressQosTest, MultipleFlowsShareOneShaperProportionally) {
+  QosPolicy policy;
+  policy.add_rule(1, ShapeNtp(300.0));
+  const std::vector<net::FlowSample> demand{Flow(net::IpProto::kUdp, 123, 400, 1000),
+                                            Flow(net::IpProto::kUdp, 123, 200, 2000)};
+  const auto r = ApplyEgressQos(demand, policy, 10'000.0, kBin);
+  EXPECT_NEAR(r.delivered_mbps, 300.0, 1.0);
+  // Proportional split: 2:1.
+  ASSERT_EQ(r.delivered.size(), 2u);
+  const double a = r.delivered[0].mbps(kBin);
+  const double b = r.delivered[1].mbps(kBin);
+  EXPECT_NEAR(a / b, 2.0, 0.05);
+}
+
+TEST(ApplyEgressQosTest, CongestionDropsProportionally) {
+  QosPolicy policy;
+  const std::vector<net::FlowSample> demand{Flow(net::IpProto::kTcp, 443, 400),
+                                            Flow(net::IpProto::kUdp, 123, 1600)};
+  const auto r = ApplyEgressQos(demand, policy, 1000.0, kBin);
+  EXPECT_NEAR(r.delivered_mbps, 1000.0, 1.0);
+  EXPECT_NEAR(r.congestion_dropped_mbps, 1000.0, 1.0);
+  // Both flows cut to half: this is the collateral damage of congestion.
+  ASSERT_EQ(r.delivered.size(), 2u);
+  EXPECT_NEAR(r.delivered[0].mbps(kBin), 200.0, 5.0);
+  EXPECT_NEAR(r.delivered[1].mbps(kBin), 800.0, 5.0);
+}
+
+TEST(ApplyEgressQosTest, DropRuleRelievesCongestion) {
+  // The Stellar effect: dropping attack traffic restores benign throughput.
+  QosPolicy policy;
+  policy.add_rule(1, DropNtp());
+  const std::vector<net::FlowSample> demand{Flow(net::IpProto::kTcp, 443, 400),
+                                            Flow(net::IpProto::kUdp, 123, 1600)};
+  const auto r = ApplyEgressQos(demand, policy, 1000.0, kBin);
+  EXPECT_NEAR(r.delivered_mbps, 400.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.congestion_dropped_mbps, 0.0);
+}
+
+TEST(ApplyEgressQosTest, ShapedTrafficCompetesInForwardQueue) {
+  QosPolicy policy;
+  policy.add_rule(1, ShapeNtp(800.0));
+  const std::vector<net::FlowSample> demand{Flow(net::IpProto::kTcp, 443, 600),
+                                            Flow(net::IpProto::kUdp, 123, 2000)};
+  // Shaper admits 800; forward demand = 600 + 800 = 1400 > 1000 capacity.
+  const auto r = ApplyEgressQos(demand, policy, 1000.0, kBin);
+  EXPECT_NEAR(r.delivered_mbps, 1000.0, 1.0);
+  EXPECT_NEAR(r.shaper_dropped_mbps, 1200.0, 1.0);
+  EXPECT_NEAR(r.congestion_dropped_mbps, 400.0, 1.0);
+}
+
+TEST(ApplyEgressQosTest, ConservationOfTraffic) {
+  QosPolicy policy;
+  policy.add_rule(1, ShapeNtp(100.0));
+  FilterRule drop_dns;
+  drop_dns.match.proto = net::IpProto::kUdp;
+  drop_dns.match.src_port = PortRange::Single(53);
+  drop_dns.action = FilterAction::kDrop;
+  policy.add_rule(2, drop_dns);
+  const std::vector<net::FlowSample> demand{
+      Flow(net::IpProto::kTcp, 443, 700), Flow(net::IpProto::kUdp, 123, 900),
+      Flow(net::IpProto::kUdp, 53, 300), Flow(net::IpProto::kUdp, 11211, 500)};
+  const auto r = ApplyEgressQos(demand, policy, 1000.0, kBin);
+  EXPECT_NEAR(r.offered_mbps,
+              r.delivered_mbps + r.rule_dropped_mbps + r.shaper_dropped_mbps +
+                  r.congestion_dropped_mbps,
+              1.0);
+}
+
+TEST(ApplyEgressQosTest, EmptyDemand) {
+  QosPolicy policy;
+  const auto r = ApplyEgressQos({}, policy, 1000.0, kBin);
+  EXPECT_DOUBLE_EQ(r.offered_mbps, 0.0);
+  EXPECT_TRUE(r.delivered.empty());
+}
+
+}  // namespace
+}  // namespace stellar::filter

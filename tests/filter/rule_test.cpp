@@ -1,0 +1,120 @@
+#include "filter/rule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/ports.hpp"
+
+namespace stellar::filter {
+namespace {
+
+net::FlowKey NtpFlow() {
+  net::FlowKey k;
+  k.src_mac = net::MacAddress::ForRouter(65001);
+  k.src_ip = net::IPv4Address(1, 2, 3, 4);
+  k.dst_ip = net::IPv4Address(100, 10, 10, 10);
+  k.proto = net::IpProto::kUdp;
+  k.src_port = net::kPortNtp;
+  k.dst_port = 5555;
+  return k;
+}
+
+TEST(PortRangeTest, Basics) {
+  EXPECT_TRUE(PortRange::Any().is_wildcard());
+  EXPECT_TRUE(PortRange::Single(80).is_single());
+  EXPECT_TRUE(PortRange::Single(80).contains(80));
+  EXPECT_FALSE(PortRange::Single(80).contains(81));
+  const PortRange r{100, 200};
+  EXPECT_TRUE(r.contains(100));
+  EXPECT_TRUE(r.contains(200));
+  EXPECT_FALSE(r.contains(99));
+  EXPECT_EQ(r.str(), "100-200");
+  EXPECT_EQ(PortRange::Any().str(), "*");
+  EXPECT_EQ(PortRange::Single(80).str(), "80");
+}
+
+TEST(MatchCriteriaTest, EmptyCriteriaMatchesEverything) {
+  MatchCriteria m;
+  EXPECT_TRUE(m.matches(NtpFlow()));
+  EXPECT_EQ(m.l3l4_criteria_count(), 0);
+  EXPECT_EQ(m.mac_criteria_count(), 0);
+}
+
+TEST(MatchCriteriaTest, EachFieldFilters) {
+  const auto flow = NtpFlow();
+
+  MatchCriteria mac;
+  mac.src_mac = net::MacAddress::ForRouter(65002);
+  EXPECT_FALSE(mac.matches(flow));
+  mac.src_mac = flow.src_mac;
+  EXPECT_TRUE(mac.matches(flow));
+
+  MatchCriteria src;
+  src.src_prefix = net::Prefix4::Parse("1.2.3.0/24").value();
+  EXPECT_TRUE(src.matches(flow));
+  src.src_prefix = net::Prefix4::Parse("9.0.0.0/8").value();
+  EXPECT_FALSE(src.matches(flow));
+
+  MatchCriteria dst;
+  dst.dst_prefix = net::Prefix4::Parse("100.10.10.10/32").value();
+  EXPECT_TRUE(dst.matches(flow));
+
+  MatchCriteria proto;
+  proto.proto = net::IpProto::kTcp;
+  EXPECT_FALSE(proto.matches(flow));
+
+  MatchCriteria sport;
+  sport.src_port = PortRange::Single(net::kPortNtp);
+  EXPECT_TRUE(sport.matches(flow));
+  sport.src_port = PortRange::Single(53);
+  EXPECT_FALSE(sport.matches(flow));
+
+  MatchCriteria dport;
+  dport.dst_port = PortRange{5000, 6000};
+  EXPECT_TRUE(dport.matches(flow));
+}
+
+TEST(MatchCriteriaTest, ConjunctionSemantics) {
+  MatchCriteria m;
+  m.proto = net::IpProto::kUdp;
+  m.src_port = PortRange::Single(net::kPortNtp);
+  m.dst_prefix = net::Prefix4::Parse("100.10.10.0/24").value();
+  EXPECT_TRUE(m.matches(NtpFlow()));
+  auto other = NtpFlow();
+  other.src_port = 53;  // One predicate fails -> no match.
+  EXPECT_FALSE(m.matches(other));
+}
+
+TEST(MatchCriteriaTest, CriteriaCounting) {
+  MatchCriteria m;
+  m.dst_prefix = net::Prefix4::Parse("100.10.10.10/32").value();
+  m.proto = net::IpProto::kUdp;
+  m.src_port = PortRange::Single(123);
+  EXPECT_EQ(m.l3l4_criteria_count(), 3);
+  m.src_mac = net::MacAddress::ForRouter(1);
+  EXPECT_EQ(m.mac_criteria_count(), 1);
+  // A true range costs 2 (range expansion), a wildcard costs 0.
+  m.dst_port = PortRange{1000, 2000};
+  EXPECT_EQ(m.l3l4_criteria_count(), 5);
+  m.dst_port = PortRange::Any();
+  EXPECT_EQ(m.l3l4_criteria_count(), 3);
+}
+
+TEST(FilterRuleTest, StrRendersPaperStyle) {
+  FilterRule rule;
+  rule.match.proto = net::IpProto::kUdp;
+  rule.match.dst_prefix = net::Prefix4::Parse("100.10.10.10/32").value();
+  rule.match.src_port = PortRange::Single(123);
+  rule.action = FilterAction::kDrop;
+  const std::string s = rule.str();
+  EXPECT_NE(s.find("drop"), std::string::npos);
+  EXPECT_NE(s.find("Proto:udp"), std::string::npos);
+  EXPECT_NE(s.find("Dst-IP:100.10.10.10/32"), std::string::npos);
+  EXPECT_NE(s.find("Src-Port:123"), std::string::npos);
+
+  rule.action = FilterAction::kShape;
+  rule.shape_rate_mbps = 200.0;
+  EXPECT_NE(rule.str().find("shape@200Mbps"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stellar::filter

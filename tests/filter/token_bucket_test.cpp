@@ -1,0 +1,82 @@
+#include "filter/token_bucket.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stellar::filter {
+namespace {
+
+TEST(TokenBucketTest, StartsFull) {
+  TokenBucket b(1.0, 5.0);
+  EXPECT_DOUBLE_EQ(b.tokens(0.0), 5.0);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(b.try_consume(1.0, 0.0));
+  EXPECT_FALSE(b.try_consume(1.0, 0.0));
+}
+
+TEST(TokenBucketTest, RefillsAtRate) {
+  TokenBucket b(2.0, 4.0);
+  EXPECT_TRUE(b.try_consume(4.0, 0.0));
+  EXPECT_FALSE(b.try_consume(1.0, 0.0));
+  EXPECT_FALSE(b.try_consume(1.1, 0.5));  // Only 1.0 token accrued.
+  EXPECT_TRUE(b.try_consume(1.0, 0.5));
+  EXPECT_TRUE(b.try_consume(4.0, 10.0));  // Fully refilled (capped at burst).
+}
+
+TEST(TokenBucketTest, BurstCapsAccumulation) {
+  TokenBucket b(100.0, 3.0);
+  EXPECT_DOUBLE_EQ(b.tokens(1000.0), 3.0);
+}
+
+TEST(TokenBucketTest, TimeAvailableComputesExactWait) {
+  TokenBucket b(4.0, 1.0);  // 4 tokens/s, burst 1.
+  EXPECT_TRUE(b.try_consume(1.0, 0.0));
+  EXPECT_DOUBLE_EQ(b.time_available(1.0, 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(b.time_available(1.0, 0.1), 0.25);
+  // After the wait, consumption succeeds.
+  EXPECT_TRUE(b.try_consume(1.0, 0.25));
+}
+
+TEST(TokenBucketTest, TimeAvailableNowWhenTokensPresent) {
+  TokenBucket b(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(b.time_available(1.0, 7.0), 7.0);
+}
+
+TEST(TokenBucketTest, LongTermRateIsEnforced) {
+  // Drain as fast as possible for 100 simulated seconds at rate 4.33/s.
+  TokenBucket b(4.33, 5.0);
+  double now = 0.0;
+  int consumed = 0;
+  while (now < 100.0) {
+    now = b.time_available(1.0, now);
+    if (now >= 100.0) break;
+    ASSERT_TRUE(b.try_consume(1.0, now));
+    ++consumed;
+  }
+  // burst (5) + 100 s * 4.33 = 438 ± rounding.
+  EXPECT_GE(consumed, 435);
+  EXPECT_LE(consumed, 440);
+}
+
+TEST(TokenBucketTest, SleepUntilAvailableThenConsumeAlwaysSucceeds) {
+  // Regression: with a rate whose reciprocal is not a binary fraction (5/s)
+  // and large absolute timestamps, the refill at time_available() used to
+  // fall ~5e-11 tokens short of the request, deadlocking callers that sleep
+  // exactly until the advertised time.
+  for (const double rate : {3.0, 4.0, 4.33, 5.0, 7.0}) {
+    TokenBucket b(rate, 5.0);
+    double now = 80'000.0;  // Large timestamps maximize the rounding error.
+    for (int i = 0; i < 10'000; ++i) {
+      now = b.time_available(1.0, now);
+      ASSERT_TRUE(b.try_consume(1.0, now)) << "rate=" << rate << " i=" << i;
+    }
+  }
+}
+
+TEST(TokenBucketTest, NonMonotonicTimeDoesNotRefillBackwards) {
+  TokenBucket b(1.0, 2.0);
+  EXPECT_TRUE(b.try_consume(2.0, 10.0));
+  // An earlier timestamp must not mint tokens.
+  EXPECT_FALSE(b.try_consume(1.0, 5.0));
+}
+
+}  // namespace
+}  // namespace stellar::filter

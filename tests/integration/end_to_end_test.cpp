@@ -1,0 +1,177 @@
+// End-to-end attack scenarios on a mid-size IXP: miniature versions of the
+// paper's §2.4 (RTBH fails against a booter attack) and §5.3 (Stellar
+// succeeds: shape to 200 Mbps, then drop to ~0) experiments, asserting the
+// qualitative shapes the full benches regenerate.
+#include <gtest/gtest.h>
+
+#include "core/stellar.hpp"
+#include "mitigation/rtbh.hpp"
+#include "net/ports.hpp"
+#include "traffic/collector.hpp"
+#include "traffic/generators.hpp"
+
+namespace stellar {
+namespace {
+
+net::Prefix4 P4(const char* text) { return net::Prefix4::Parse(text).value(); }
+constexpr bgp::Asn kVictimAsn = 63'000;
+
+struct Scenario {
+  sim::EventQueue queue;
+  std::unique_ptr<ixp::Ixp> ixp;
+  ixp::MemberRouter* victim;
+  std::unique_ptr<traffic::AmplificationAttackGenerator> attack;
+  std::unique_ptr<traffic::WebTrafficGenerator> web;
+  net::IPv4Address target{net::IPv4Address(100, 10, 10, 10)};
+
+  explicit Scenario(double honor_fraction) {
+    ixp::LargeIxpParams params;
+    params.member_count = 60;
+    params.rtbh_honor_fraction = honor_fraction;
+    params.seed = 99;
+    ixp = ixp::MakeLargeIxp(queue, params);
+    ixp::MemberSpec v;
+    v.asn = kVictimAsn;
+    v.port_capacity_mbps = 10'000.0;  // Paper §2.4: 10 Gbps port, 1 Gbps attack.
+    v.address_space = P4("100.10.10.0/24");
+    victim = &ixp->add_member(v);
+    ixp->settle(60.0);
+
+    auto sources = ixp->source_members(kVictimAsn);
+    auto attack_config = traffic::BooterNtpAttack(target, 1000.0, 100.0, 700.0);
+    attack_config.source_members = 40;
+    attack = std::make_unique<traffic::AmplificationAttackGenerator>(attack_config, sources,
+                                                                     1234);
+    traffic::WebTrafficGenerator::Config web_config;
+    web_config.target = target;
+    web_config.rate_mbps = 100.0;
+    web = std::make_unique<traffic::WebTrafficGenerator>(web_config, sources, 4321);
+  }
+
+  /// Runs one bin and returns (delivered attack mbps, delivered benign mbps,
+  /// attacking peers still getting through).
+  struct BinOutcome {
+    double attack_mbps = 0.0;
+    double benign_mbps = 0.0;
+    std::size_t peers = 0;
+  };
+  BinOutcome run_bin(double t, double bin_s = 10.0) {
+    queue.run_until(sim::Seconds(t));
+    std::vector<net::FlowSample> offered = web->bin(t, bin_s);
+    for (auto& s : attack->bin(t, bin_s)) offered.push_back(s);
+    const auto report = ixp->deliver_bin(offered, bin_s);
+    BinOutcome out;
+    std::set<net::MacAddress> peers;
+    for (const auto& f : report.delivered) {
+      if (f.key.proto == net::IpProto::kUdp && f.key.src_port == net::kPortNtp) {
+        out.attack_mbps += f.mbps(bin_s);
+        peers.insert(f.key.src_mac);
+      } else {
+        out.benign_mbps += f.mbps(bin_s);
+      }
+    }
+    out.peers = peers.size();
+    return out;
+  }
+};
+
+TEST(EndToEndTest, RtbhLeavesMostAttackTraffic) {
+  // §2.4: with ~70% of members not honoring, RTBH removes only a minority of
+  // the attack — and kills ALL legitimate traffic from honoring peers.
+  Scenario s(/*honor_fraction=*/0.30);
+
+  const auto before = s.run_bin(300.0);
+  EXPECT_NEAR(before.attack_mbps, 1000.0, 150.0);
+
+  mitigation::TriggerRtbh(*s.victim, net::Prefix4::HostRoute(s.target));
+  s.ixp->settle(20.0);
+  const auto compliance =
+      mitigation::MeasureCompliance(*s.ixp, net::Prefix4::HostRoute(s.target), kVictimAsn);
+  EXPECT_NEAR(compliance.honored_fraction(), 0.30, 0.15);
+
+  const auto after = s.run_bin(400.0);
+  // The paper observes 600-800 Mbps surviving a ~1 Gbps attack.
+  EXPECT_GT(after.attack_mbps, 500.0);
+  EXPECT_LT(after.attack_mbps, 900.0);
+  // Peers drop by roughly the honoring share (paper: −25%).
+  EXPECT_LT(after.peers, before.peers);
+  EXPECT_GT(after.peers, before.peers / 2);
+}
+
+TEST(EndToEndTest, RtbhWithFullComplianceKillsEverything) {
+  // Even with 100% compliance RTBH has total collateral damage: benign
+  // traffic to the prefix dies with the attack.
+  Scenario s(/*honor_fraction=*/1.0);
+  mitigation::TriggerRtbh(*s.victim, net::Prefix4::HostRoute(s.target));
+  s.ixp->settle(20.0);
+  const auto after = s.run_bin(400.0);
+  EXPECT_NEAR(after.attack_mbps, 0.0, 1.0);
+  EXPECT_NEAR(after.benign_mbps, 0.0, 1.0);  // The collateral damage.
+}
+
+TEST(EndToEndTest, StellarShapesThenDrops) {
+  // §5.3 / Fig. 10c: shape UDP/123 to 200 Mbps at t=300, drop at t=500.
+  Scenario s(/*honor_fraction=*/0.30);
+  core::StellarSystem stellar(*s.ixp);
+  s.ixp->settle(10.0);
+
+  const auto before = s.run_bin(290.0);
+  EXPECT_NEAR(before.attack_mbps, 1000.0, 150.0);
+  const std::size_t peers_before = before.peers;
+
+  // Phase 1: shaping for telemetry.
+  core::Signal shape;
+  shape.rules.push_back({core::RuleKind::kUdpSrcPort, net::kPortNtp});
+  shape.shape_rate_mbps = 200.0;
+  core::SignalAdvancedBlackholing(*s.victim, s.ixp->route_server(),
+                                  net::Prefix4::HostRoute(s.target), shape);
+  s.ixp->settle(20.0);
+  const auto shaped = s.run_bin(400.0);
+  EXPECT_NEAR(shaped.attack_mbps, 200.0, 20.0);
+  // Paper: "the number of peers remains constant" while shaping.
+  EXPECT_NEAR(static_cast<double>(shaped.peers), static_cast<double>(peers_before),
+              static_cast<double>(peers_before) * 0.3);
+  // Benign traffic is untouched.
+  EXPECT_NEAR(shaped.benign_mbps, 100.0, 30.0);
+
+  // Phase 2: drop.
+  core::Signal drop;
+  drop.rules.push_back({core::RuleKind::kUdpSrcPort, net::kPortNtp});
+  core::SignalAdvancedBlackholing(*s.victim, s.ixp->route_server(),
+                                  net::Prefix4::HostRoute(s.target), drop);
+  s.ixp->settle(20.0);
+  const auto dropped = s.run_bin(600.0);
+  EXPECT_NEAR(dropped.attack_mbps, 0.0, 1.0);
+  EXPECT_EQ(dropped.peers, 0u);
+  EXPECT_NEAR(dropped.benign_mbps, 100.0, 30.0);
+
+  // Telemetry shows the attack is still ongoing (matched bytes grow).
+  const auto telemetry = stellar.telemetry(kVictimAsn);
+  ASSERT_FALSE(telemetry.empty());
+  EXPECT_GT(telemetry[0].counters.matched_bytes, 0u);
+}
+
+TEST(EndToEndTest, StellarBeatsRtbhOnSameScenario) {
+  Scenario rtbh_run(/*honor_fraction=*/0.30);
+  mitigation::TriggerRtbh(*rtbh_run.victim, net::Prefix4::HostRoute(rtbh_run.target));
+  rtbh_run.ixp->settle(20.0);
+  const auto rtbh_outcome = rtbh_run.run_bin(400.0);
+
+  Scenario stellar_run(/*honor_fraction=*/0.30);
+  core::StellarSystem stellar(*stellar_run.ixp);
+  stellar_run.ixp->settle(10.0);
+  core::Signal drop;
+  drop.rules.push_back({core::RuleKind::kUdpSrcPort, net::kPortNtp});
+  core::SignalAdvancedBlackholing(*stellar_run.victim, stellar_run.ixp->route_server(),
+                                  net::Prefix4::HostRoute(stellar_run.target), drop);
+  stellar_run.ixp->settle(20.0);
+  const auto stellar_outcome = stellar_run.run_bin(400.0);
+
+  // Stellar removes the attack completely; RTBH leaves the majority.
+  EXPECT_LT(stellar_outcome.attack_mbps, 0.05 * rtbh_outcome.attack_mbps);
+  // Stellar preserves benign traffic; RTBH partially destroys it.
+  EXPECT_GT(stellar_outcome.benign_mbps, rtbh_outcome.benign_mbps);
+}
+
+}  // namespace
+}  // namespace stellar

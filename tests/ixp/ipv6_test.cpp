@@ -1,0 +1,173 @@
+// IPv6 blackholing path (paper footnote 4: IPv6 blackholing exists at <1%
+// volume — the mechanism is AFI-agnostic): MP-BGP announcements through the
+// route server, IRR6/bogon6 hygiene, the /48 more-specific boundary, and
+// RTBH next-hop rewriting into the RFC 6666 discard prefix.
+#include <gtest/gtest.h>
+
+#include "ixp/ixp.hpp"
+#include "ixp/looking_glass.hpp"
+
+namespace stellar::ixp {
+namespace {
+
+net::Prefix4 P4(const char* text) { return net::Prefix4::Parse(text).value(); }
+net::Prefix6 P6(const char* text) { return net::Prefix6::Parse(text).value(); }
+net::IPv6Address A6(const char* text) { return net::IPv6Address::Parse(text).value(); }
+
+struct V6Fixture {
+  sim::EventQueue queue;
+  std::unique_ptr<Ixp> ixp;
+  MemberRouter* v6_member;   ///< Dual-stack victim.
+  MemberRouter* honoring;    ///< Accepts more-specifics.
+  MemberRouter* defaults;    ///< Default config (rejects > /48).
+
+  V6Fixture() {
+    ixp = std::make_unique<Ixp>(queue);
+    MemberSpec a;
+    a.asn = 65001;
+    a.address_space = P4("100.10.10.0/24");
+    a.address_space6 = P6("2001:678:a::/48");
+    v6_member = &ixp->add_member(a);
+    MemberSpec b;
+    b.asn = 65002;
+    b.address_space = P4("60.2.0.0/20");
+    b.address_space6 = P6("2001:678:b::/48");
+    b.policy.accepts_more_specifics = true;
+    honoring = &ixp->add_member(b);
+    MemberSpec c;
+    c.asn = 65003;
+    c.address_space = P4("60.3.0.0/20");
+    c.address_space6 = P6("2001:678:c::/48");
+    defaults = &ixp->add_member(c);
+    ixp->settle(30.0);
+  }
+
+  void settle() { ixp->settle(10.0); }
+};
+
+TEST(Ipv6Test, MemberPrefixesPropagate) {
+  V6Fixture f;
+  EXPECT_EQ(f.ixp->route_server().adj_rib_in6().size(), 3u);
+  // Everyone sees the other members' v6 allocations.
+  EXPECT_EQ(f.honoring->rib6().size(), 2u);
+  EXPECT_FALSE(f.honoring->rib6().routes_for(P6("2001:678:a::/48")).empty());
+  EXPECT_FALSE(f.defaults->rib6().routes_for(P6("2001:678:b::/48")).empty());
+  // Nobody received their own prefix back.
+  EXPECT_TRUE(f.v6_member->rib6().routes_for(P6("2001:678:a::/48")).empty());
+}
+
+TEST(Ipv6Test, UnauthorizedV6PrefixRejected) {
+  V6Fixture f;
+  f.v6_member->announce6(P6("2001:999::/32"));
+  f.settle();
+  EXPECT_TRUE(f.ixp->route_server().adj_rib_in6().routes_for(P6("2001:999::/32")).empty());
+  EXPECT_GE(f.ixp->route_server().rejects().irr_unauthorized, 1u);
+}
+
+TEST(Ipv6Test, BogonV6Rejected) {
+  V6Fixture f;
+  f.ixp->irr6().add_route_object(P6("2001:db8::/32"), 65001);  // Documentation space.
+  f.v6_member->announce6(P6("2001:db8::/32"));
+  f.settle();
+  EXPECT_GE(f.ixp->route_server().rejects().bogon, 1u);
+}
+
+TEST(Ipv6Test, TooSpecificWithoutBlackholeRejected) {
+  V6Fixture f;
+  f.v6_member->announce6(P6("2001:678:a::1/128"));
+  f.settle();
+  EXPECT_GE(f.ixp->route_server().rejects().too_specific, 1u);
+}
+
+TEST(Ipv6Test, BlackholeHostRouteRewritesNextHopToDiscardPrefix) {
+  V6Fixture f;
+  f.v6_member->announce6(P6("2001:678:a::1/128"), {bgp::kBlackhole});
+  f.settle();
+  // Accepted at the route server and logged.
+  EXPECT_EQ(f.ixp->route_server().adj_rib_in6().routes_for(P6("2001:678:a::1/128")).size(),
+            1u);
+  ASSERT_GE(f.ixp->route_server().blackhole_events6().size(), 1u);
+  EXPECT_EQ(f.ixp->route_server().blackhole_events6().back().member, 65001u);
+
+  // The honoring member received it with next-hop 100::1 and installs it.
+  const auto routes = f.honoring->rib6().routes_for(P6("2001:678:a::1/128"));
+  ASSERT_EQ(routes.size(), 1u);
+  ASSERT_TRUE(routes[0].attrs.mp_reach_ipv6.has_value());
+  EXPECT_EQ(routes[0].attrs.mp_reach_ipv6->next_hop, A6("100::1"));
+  EXPECT_TRUE(routes[0].attrs.has_community(bgp::kBlackhole));
+  EXPECT_TRUE(f.honoring->blackholes6(A6("2001:678:a::1")));
+  EXPECT_FALSE(f.honoring->blackholes6(A6("2001:678:a::2")));
+
+  // The default-config member filtered the /128 (same barrier as v4 /32s).
+  EXPECT_FALSE(f.defaults->blackholes6(A6("2001:678:a::1")));
+  EXPECT_GE(f.defaults->rejected_more_specifics(), 1u);
+}
+
+TEST(Ipv6Test, WithdrawRemovesBlackhole) {
+  V6Fixture f;
+  f.v6_member->announce6(P6("2001:678:a::1/128"), {bgp::kBlackhole});
+  f.settle();
+  ASSERT_TRUE(f.honoring->blackholes6(A6("2001:678:a::1")));
+  f.v6_member->withdraw6(P6("2001:678:a::1/128"));
+  f.settle();
+  EXPECT_FALSE(f.honoring->blackholes6(A6("2001:678:a::1")));
+  EXPECT_TRUE(
+      f.ixp->route_server().adj_rib_in6().routes_for(P6("2001:678:a::1/128")).empty());
+  // The withdraw event was logged too.
+  EXPECT_TRUE(f.ixp->route_server().blackhole_events6().back().withdrawn);
+}
+
+TEST(Ipv6Test, ScopeCommunitiesApplyToV6) {
+  V6Fixture f;
+  f.v6_member->announce6(P6("2001:678:a::1/128"),
+                         {bgp::kBlackhole, f.ixp->route_server().exclude_peer(65002)});
+  f.settle();
+  EXPECT_TRUE(f.honoring->rib6().routes_for(P6("2001:678:a::1/128")).empty());
+}
+
+TEST(Ipv6Test, SessionFailureImplicitlyWithdrawsV6Routes) {
+  V6Fixture f;
+  f.v6_member->announce6(P6("2001:678:a::1/128"), {bgp::kBlackhole});
+  f.settle();
+  ASSERT_TRUE(f.honoring->blackholes6(A6("2001:678:a::1")));
+  f.v6_member->session()->stop();
+  f.settle();
+  EXPECT_FALSE(f.honoring->blackholes6(A6("2001:678:a::1")));
+  EXPECT_TRUE(f.honoring->rib6().routes_for(P6("2001:678:a::/48")).empty());
+}
+
+TEST(Ipv6Test, V4PathUnaffectedByV6Churn) {
+  V6Fixture f;
+  f.v6_member->announce6(P6("2001:678:a::1/128"), {bgp::kBlackhole});
+  f.settle();
+  // The v4 allocations are still intact everywhere.
+  EXPECT_EQ(f.ixp->route_server().adj_rib_in().size(), 3u);
+  EXPECT_FALSE(f.honoring->rib().routes_for(P4("100.10.10.0/24")).empty());
+}
+
+TEST(Ipv6Test, LookingGlassShowsV6Routes) {
+  V6Fixture f;
+  f.v6_member->announce6(P6("2001:678:a::1/128"), {bgp::kBlackhole});
+  f.settle();
+  LookingGlass lg(f.ixp->route_server());
+  const auto routes = lg.show_route6(P6("2001:678:a::1/128"));
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_NE(routes[0].find("AS65001"), std::string::npos);
+  EXPECT_NE(routes[0].find("65535:666"), std::string::npos);
+  EXPECT_NE(lg.show_status().find("routes6=4"), std::string::npos);
+}
+
+TEST(Ipv6Test, Bogon6ListStandard) {
+  const auto bogons = Bogon6List::Standard();
+  EXPECT_TRUE(bogons.is_bogon(P6("::1/128")));
+  EXPECT_TRUE(bogons.is_bogon(P6("fe80::/64")));
+  EXPECT_TRUE(bogons.is_bogon(P6("fd00::/8")));
+  EXPECT_TRUE(bogons.is_bogon(P6("2001:db8:1::/48")));
+  EXPECT_TRUE(bogons.is_bogon(P6("ff02::/16")));
+  EXPECT_FALSE(bogons.is_bogon(P6("2001:678:a::/48")));
+  // The discard prefix must NOT be a bogon: it is the blackhole next-hop.
+  EXPECT_FALSE(bogons.is_bogon(P6("100::/64")));
+}
+
+}  // namespace
+}  // namespace stellar::ixp

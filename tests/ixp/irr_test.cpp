@@ -1,0 +1,82 @@
+#include "ixp/irr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stellar::ixp {
+namespace {
+
+net::Prefix4 P4(const char* text) { return net::Prefix4::Parse(text).value(); }
+
+TEST(IrrDatabaseTest, ExactAuthorization) {
+  IrrDatabase irr;
+  irr.add_route_object(P4("60.1.0.0/20"), 65001);
+  EXPECT_TRUE(irr.authorized(P4("60.1.0.0/20"), 65001));
+  EXPECT_FALSE(irr.authorized(P4("60.1.0.0/20"), 65002));
+  EXPECT_FALSE(irr.authorized(P4("60.2.0.0/20"), 65001));
+}
+
+TEST(IrrDatabaseTest, CoveringObjectAuthorizesMoreSpecifics) {
+  IrrDatabase irr;
+  irr.add_route_object(P4("100.10.10.0/24"), 65001);
+  // The /32 blackhole route out of the registered /24 must validate.
+  EXPECT_TRUE(irr.authorized(P4("100.10.10.10/32"), 65001));
+  EXPECT_FALSE(irr.authorized(P4("100.10.11.10/32"), 65001));
+  // A less specific is NOT covered.
+  EXPECT_FALSE(irr.authorized(P4("100.10.0.0/16"), 65001));
+}
+
+TEST(IrrDatabaseTest, RemoveRouteObject) {
+  IrrDatabase irr;
+  irr.add_route_object(P4("60.1.0.0/20"), 65001);
+  irr.remove_route_object(P4("60.1.0.0/20"), 65001);
+  EXPECT_FALSE(irr.authorized(P4("60.1.0.0/20"), 65001));
+  EXPECT_EQ(irr.size(), 0u);
+}
+
+TEST(IrrDatabaseTest, MultipleOriginsForSamePrefix) {
+  IrrDatabase irr;
+  irr.add_route_object(P4("60.1.0.0/20"), 65001);
+  irr.add_route_object(P4("60.1.0.0/20"), 65002);
+  EXPECT_TRUE(irr.authorized(P4("60.1.0.0/20"), 65001));
+  EXPECT_TRUE(irr.authorized(P4("60.1.0.0/20"), 65002));
+}
+
+TEST(RpkiValidatorTest, ValidInvalidNotFound) {
+  RpkiValidator rpki;
+  rpki.add_roa({P4("60.1.0.0/20"), 24, 65001});
+  EXPECT_EQ(rpki.validate(P4("60.1.0.0/20"), 65001), RpkiState::kValid);
+  EXPECT_EQ(rpki.validate(P4("60.1.0.0/24"), 65001), RpkiState::kValid);  // Within maxLength.
+  EXPECT_EQ(rpki.validate(P4("60.1.0.0/25"), 65001), RpkiState::kInvalid);  // Too specific.
+  EXPECT_EQ(rpki.validate(P4("60.1.0.0/20"), 65002), RpkiState::kInvalid);  // Wrong origin.
+  EXPECT_EQ(rpki.validate(P4("61.0.0.0/8"), 65001), RpkiState::kNotFound);
+}
+
+TEST(RpkiValidatorTest, AnyMatchingRoaValidates) {
+  RpkiValidator rpki;
+  rpki.add_roa({P4("60.1.0.0/20"), 20, 65001});
+  rpki.add_roa({P4("60.1.0.0/20"), 32, 65002});
+  EXPECT_EQ(rpki.validate(P4("60.1.0.0/24"), 65002), RpkiState::kValid);
+  EXPECT_EQ(rpki.validate(P4("60.1.0.0/24"), 65001), RpkiState::kInvalid);
+}
+
+TEST(BogonListTest, StandardBogonsDetected) {
+  const BogonList bogons = BogonList::Standard();
+  EXPECT_TRUE(bogons.is_bogon(P4("10.1.2.0/24")));      // RFC 1918 more-specific.
+  EXPECT_TRUE(bogons.is_bogon(P4("192.168.0.0/16")));   // Exact.
+  EXPECT_TRUE(bogons.is_bogon(P4("0.0.0.0/0")));        // Covers bogons.
+  EXPECT_TRUE(bogons.is_bogon(P4("127.0.0.1/32")));
+  EXPECT_TRUE(bogons.is_bogon(P4("224.0.0.0/4")));
+  EXPECT_FALSE(bogons.is_bogon(P4("60.1.0.0/20")));
+  EXPECT_FALSE(bogons.is_bogon(P4("100.10.10.0/24")));
+  EXPECT_FALSE(bogons.is_bogon(P4("8.8.8.0/24")));
+}
+
+TEST(BogonListTest, CustomBogon) {
+  BogonList bogons;
+  bogons.add(P4("55.0.0.0/8"));
+  EXPECT_TRUE(bogons.is_bogon(P4("55.1.0.0/16")));
+  EXPECT_FALSE(bogons.is_bogon(P4("56.0.0.0/8")));
+}
+
+}  // namespace
+}  // namespace stellar::ixp

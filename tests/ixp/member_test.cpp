@@ -1,0 +1,159 @@
+#include "ixp/member.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stellar::ixp {
+namespace {
+
+net::Prefix4 P4(const char* text) { return net::Prefix4::Parse(text).value(); }
+
+const net::IPv4Address kBlackholeIp(10, 99, 0, 66);
+
+struct MemberFixture {
+  sim::EventQueue queue;
+  MemberInfo info;
+  std::unique_ptr<MemberRouter> member;
+  std::unique_ptr<bgp::Session> server;  ///< Stand-in for the route server side.
+  std::vector<bgp::UpdateMessage> server_received;
+
+  explicit MemberFixture(MemberPolicy policy = {}) {
+    info.asn = 65010;
+    info.name = "m1";
+    info.port = 10;
+    info.mac = net::MacAddress::ForRouter(65010);
+    info.router_ip = net::IPv4Address(10, 99, 1, 1);
+    info.address_space = P4("60.1.0.0/20");
+    info.policy = policy;
+    member = std::make_unique<MemberRouter>(queue, info, kBlackholeIp);
+
+    auto [server_side, member_side] = bgp::MakeLink(queue);
+    bgp::SessionConfig config;
+    config.local_asn = 64500;
+    config.router_id = net::IPv4Address(10, 99, 0, 1);
+    server = std::make_unique<bgp::Session>(queue, server_side, config);
+    server->set_update_handler(
+        [this](const bgp::UpdateMessage& u) { server_received.push_back(u); });
+    server->start();
+    member->connect(member_side);
+    queue.run_until(sim::Seconds(1.0));
+  }
+
+  void push_route(const net::Prefix4& prefix, bool blackhole,
+                  std::vector<bgp::Community> communities = {}) {
+    bgp::UpdateMessage u;
+    u.attrs.origin = bgp::Origin::kIgp;
+    u.attrs.as_path = {{bgp::AsPathSegment::Type::kSequence, {65099}}};
+    u.attrs.next_hop = blackhole ? kBlackholeIp : net::IPv4Address(10, 99, 2, 2);
+    if (blackhole) communities.push_back(bgp::kBlackhole);
+    u.attrs.communities = std::move(communities);
+    u.announced = {{0, prefix}};
+    server->announce(u);
+    queue.run_until(queue.now() + sim::Seconds(1.0));
+  }
+};
+
+TEST(MemberRouterTest, AnnounceBeforeConnectThrows) {
+  sim::EventQueue queue;
+  MemberInfo info;
+  info.asn = 65010;
+  info.address_space = P4("60.1.0.0/20");
+  MemberRouter router(queue, info, kBlackholeIp);
+  EXPECT_THROW(router.announce(P4("60.1.0.0/20")), std::logic_error);
+  EXPECT_THROW(router.withdraw(P4("60.1.0.0/20")), std::logic_error);
+}
+
+TEST(MemberRouterTest, SessionEstablishes) {
+  MemberFixture f;
+  EXPECT_TRUE(f.member->session()->established());
+  EXPECT_EQ(f.server->peer_asn(), 65010u);
+}
+
+TEST(MemberRouterTest, AnnounceCarriesOriginAsPathAndCommunities) {
+  MemberFixture f;
+  f.member->announce(P4("60.1.0.0/20"), {bgp::Community(0, 64500)},
+                     {bgp::ExtendedCommunity::TwoOctetAs(0x80, 64500, 123)});
+  f.queue.run_until(sim::Seconds(2.0));
+  ASSERT_EQ(f.server_received.size(), 1u);
+  const auto& u = f.server_received[0];
+  EXPECT_EQ(u.attrs.origin_asn(), 65010u);
+  EXPECT_EQ(u.attrs.next_hop, f.info.router_ip);
+  EXPECT_TRUE(u.attrs.has_community(bgp::Community(0, 64500)));
+  EXPECT_EQ(u.attrs.extended_communities.size(), 1u);
+  ASSERT_EQ(u.announced.size(), 1u);
+  EXPECT_EQ(u.announced[0].prefix, P4("60.1.0.0/20"));
+}
+
+TEST(MemberRouterTest, WithdrawSendsWithdrawal) {
+  MemberFixture f;
+  f.member->announce(P4("60.1.0.0/20"));
+  f.member->withdraw(P4("60.1.0.0/20"));
+  f.queue.run_until(sim::Seconds(2.0));
+  ASSERT_EQ(f.server_received.size(), 2u);
+  ASSERT_EQ(f.server_received[1].withdrawn.size(), 1u);
+  EXPECT_EQ(f.server_received[1].withdrawn[0].prefix, P4("60.1.0.0/20"));
+}
+
+TEST(MemberRouterTest, DefaultPolicyRejectsMoreSpecificsThanSlash24) {
+  MemberFixture f;  // Default: accepts_more_specifics = false.
+  f.push_route(P4("100.10.10.10/32"), /*blackhole=*/true);
+  EXPECT_FALSE(f.member->blackholes(net::IPv4Address(100, 10, 10, 10)));
+  EXPECT_EQ(f.member->rejected_more_specifics(), 1u);
+  EXPECT_TRUE(f.member->rib().empty());
+}
+
+TEST(MemberRouterTest, HonoringMemberInstallsBlackhole) {
+  MemberPolicy policy;
+  policy.accepts_more_specifics = true;
+  policy.participates_in_rtbh = true;
+  MemberFixture f(policy);
+  f.push_route(P4("100.10.10.10/32"), /*blackhole=*/true);
+  EXPECT_TRUE(f.member->blackholes(net::IPv4Address(100, 10, 10, 10)));
+  EXPECT_FALSE(f.member->blackholes(net::IPv4Address(100, 10, 10, 11)));
+  EXPECT_TRUE(policy.honors_rtbh());
+}
+
+TEST(MemberRouterTest, NonParticipantAcceptsRouteButDoesNotBlackhole) {
+  MemberPolicy policy;
+  policy.accepts_more_specifics = true;
+  policy.participates_in_rtbh = false;
+  MemberFixture f(policy);
+  f.push_route(P4("100.10.10.10/32"), /*blackhole=*/true);
+  EXPECT_FALSE(f.member->blackholes(net::IPv4Address(100, 10, 10, 10)));
+  EXPECT_EQ(f.member->rib().size(), 1u);
+  EXPECT_FALSE(policy.honors_rtbh());
+}
+
+TEST(MemberRouterTest, RegularRouteIsNotBlackholed) {
+  MemberPolicy policy;
+  policy.accepts_more_specifics = true;
+  MemberFixture f(policy);
+  f.push_route(P4("61.0.0.0/20"), /*blackhole=*/false);
+  EXPECT_FALSE(f.member->blackholes(net::IPv4Address(61, 0, 0, 1)));
+  EXPECT_EQ(f.member->rib().size(), 1u);
+}
+
+TEST(MemberRouterTest, WithdrawalRemovesBlackhole) {
+  MemberPolicy policy;
+  policy.accepts_more_specifics = true;
+  MemberFixture f(policy);
+  f.push_route(P4("100.10.10.10/32"), /*blackhole=*/true);
+  ASSERT_TRUE(f.member->blackholes(net::IPv4Address(100, 10, 10, 10)));
+  bgp::UpdateMessage w;
+  w.withdrawn = {{0, P4("100.10.10.10/32")}};
+  f.server->announce(w);
+  f.queue.run_until(f.queue.now() + sim::Seconds(1.0));
+  EXPECT_FALSE(f.member->blackholes(net::IPv4Address(100, 10, 10, 10)));
+}
+
+TEST(MemberRouterTest, ReplacingBlackholeWithRegularRouteClearsIt) {
+  MemberPolicy policy;
+  policy.accepts_more_specifics = true;
+  MemberFixture f(policy);
+  f.push_route(P4("100.10.10.10/32"), /*blackhole=*/true);
+  ASSERT_TRUE(f.member->blackholes(net::IPv4Address(100, 10, 10, 10)));
+  f.push_route(P4("100.10.10.10/32"), /*blackhole=*/false);
+  EXPECT_FALSE(f.member->blackholes(net::IPv4Address(100, 10, 10, 10)));
+}
+
+}  // namespace
+}  // namespace stellar::ixp

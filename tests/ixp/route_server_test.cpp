@@ -1,0 +1,200 @@
+#include "ixp/route_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ixp/ixp.hpp"
+
+namespace stellar::ixp {
+namespace {
+
+net::Prefix4 P4(const char* text) { return net::Prefix4::Parse(text).value(); }
+
+/// Small IXP with three members: m1 (victim, honors RTBH irrelevant), m2
+/// honors RTBH, m3 does not accept more-specifics.
+struct RsFixture {
+  sim::EventQueue queue;
+  std::unique_ptr<Ixp> ixp;
+  MemberRouter* m1;
+  MemberRouter* m2;
+  MemberRouter* m3;
+
+  RsFixture() {
+    ixp = std::make_unique<Ixp>(queue);
+    MemberSpec s1;
+    s1.asn = 65001;
+    s1.address_space = P4("100.10.10.0/24");
+    s1.policy.accepts_more_specifics = true;
+    m1 = &ixp->add_member(s1);
+    MemberSpec s2;
+    s2.asn = 65002;
+    s2.address_space = P4("60.2.0.0/20");
+    s2.policy.accepts_more_specifics = true;
+    s2.policy.participates_in_rtbh = true;
+    m2 = &ixp->add_member(s2);
+    MemberSpec s3;
+    s3.asn = 65003;
+    s3.address_space = P4("60.3.0.0/20");
+    s3.policy.accepts_more_specifics = false;
+    m3 = &ixp->add_member(s3);
+    ixp->settle(30.0);
+  }
+
+  RouteServer& rs() { return ixp->route_server(); }
+  void settle() { ixp->settle(10.0); }
+};
+
+TEST(RouteServerTest, SessionsEstablishAndPrefixesPropagate) {
+  RsFixture f;
+  EXPECT_EQ(f.rs().established_member_sessions(), 3u);
+  EXPECT_EQ(f.rs().adj_rib_in().size(), 3u);  // One prefix per member.
+  // m2 sees m1's and m3's prefixes, not its own.
+  EXPECT_EQ(f.m2->rib().size(), 2u);
+  EXPECT_FALSE(f.m2->rib().routes_for(P4("100.10.10.0/24")).empty());
+  EXPECT_FALSE(f.m2->rib().routes_for(P4("60.3.0.0/20")).empty());
+}
+
+TEST(RouteServerTest, RejectsUnauthorizedPrefix) {
+  RsFixture f;
+  f.m1->announce(P4("61.0.0.0/20"));  // Not in m1's IRR objects.
+  f.settle();
+  EXPECT_GE(f.rs().rejects().irr_unauthorized, 1u);
+  EXPECT_TRUE(f.rs().adj_rib_in().routes_for(P4("61.0.0.0/20")).empty());
+}
+
+TEST(RouteServerTest, RejectsBogon) {
+  RsFixture f;
+  // Register the bogon in the IRR so only the bogon check can reject it.
+  f.ixp->irr().add_route_object(P4("10.0.0.0/8"), 65001);
+  f.m1->announce(P4("10.1.0.0/16"));
+  f.settle();
+  EXPECT_GE(f.rs().rejects().bogon, 1u);
+}
+
+TEST(RouteServerTest, RejectsRpkiInvalid) {
+  RsFixture f;
+  // IRR authorizes, but a ROA for a different origin makes it RPKI-invalid.
+  f.ixp->irr().add_route_object(P4("62.0.0.0/16"), 65001);
+  f.ixp->rpki().add_roa({P4("62.0.0.0/16"), 24, 65099});
+  f.m1->announce(P4("62.0.0.0/16"));
+  f.settle();
+  EXPECT_GE(f.rs().rejects().rpki_invalid, 1u);
+}
+
+TEST(RouteServerTest, RejectsTooSpecificWithoutBlackhole) {
+  RsFixture f;
+  f.m1->announce(P4("100.10.10.10/32"));  // No blackhole community.
+  f.settle();
+  EXPECT_GE(f.rs().rejects().too_specific, 1u);
+}
+
+TEST(RouteServerTest, AcceptsBlackholeSlash32AndRewritesNextHop) {
+  RsFixture f;
+  f.m1->announce(P4("100.10.10.10/32"), {bgp::kBlackhole});
+  f.settle();
+  // Accepted at the route server.
+  EXPECT_EQ(f.rs().adj_rib_in().routes_for(P4("100.10.10.10/32")).size(), 1u);
+  // m2 (honors) received it with the blackhole next-hop and installs it.
+  const auto routes = f.m2->rib().routes_for(P4("100.10.10.10/32"));
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_EQ(routes[0].attrs.next_hop, f.ixp->config().blackhole_next_hop);
+  EXPECT_TRUE(routes[0].attrs.has_community(bgp::kBlackhole));
+  EXPECT_TRUE(routes[0].attrs.has_community(bgp::kNoExport));
+  EXPECT_TRUE(f.m2->blackholes(net::IPv4Address(100, 10, 10, 10)));
+  // m3 (default config) filtered the /32.
+  EXPECT_FALSE(f.m3->blackholes(net::IPv4Address(100, 10, 10, 10)));
+}
+
+TEST(RouteServerTest, ScopeExcludePeer) {
+  RsFixture f;
+  f.m1->announce(P4("100.10.10.10/32"),
+                 {bgp::kBlackhole, f.rs().exclude_peer(65002)});
+  f.settle();
+  EXPECT_TRUE(f.m2->rib().routes_for(P4("100.10.10.10/32")).empty());
+}
+
+TEST(RouteServerTest, ScopeAnnounceToNoneWithInclude) {
+  RsFixture f;
+  f.m1->announce(P4("100.10.10.10/32"),
+                 {bgp::kBlackhole, f.rs().announce_to_none(), f.rs().include_peer(65002)});
+  f.settle();
+  EXPECT_FALSE(f.m2->rib().routes_for(P4("100.10.10.10/32")).empty());
+  // Scope communities are stripped on export.
+  const auto routes = f.m2->rib().routes_for(P4("100.10.10.10/32"));
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_FALSE(routes[0].attrs.has_community(f.rs().announce_to_none()));
+  EXPECT_FALSE(routes[0].attrs.has_community(f.rs().include_peer(65002)));
+}
+
+TEST(RouteServerTest, AnnounceToNoneReachesNoMember) {
+  RsFixture f;
+  f.m1->announce(P4("100.10.10.10/32"), {bgp::kBlackhole, f.rs().announce_to_none()});
+  f.settle();
+  EXPECT_TRUE(f.m2->rib().routes_for(P4("100.10.10.10/32")).empty());
+  EXPECT_TRUE(f.m3->rib().routes_for(P4("100.10.10.10/32")).empty());
+  // But the RIB (and thus the controller session) still has it.
+  EXPECT_EQ(f.rs().adj_rib_in().routes_for(P4("100.10.10.10/32")).size(), 1u);
+}
+
+TEST(RouteServerTest, WithdrawPropagates) {
+  RsFixture f;
+  f.m1->announce(P4("100.10.10.10/32"), {bgp::kBlackhole});
+  f.settle();
+  ASSERT_TRUE(f.m2->blackholes(net::IPv4Address(100, 10, 10, 10)));
+  f.m1->withdraw(P4("100.10.10.10/32"));
+  f.settle();
+  EXPECT_FALSE(f.m2->blackholes(net::IPv4Address(100, 10, 10, 10)));
+  EXPECT_TRUE(f.rs().adj_rib_in().routes_for(P4("100.10.10.10/32")).empty());
+}
+
+TEST(RouteServerTest, BlackholeEventsLogged) {
+  RsFixture f;
+  f.m1->announce(P4("100.10.10.10/32"), {bgp::kBlackhole, f.rs().exclude_peer(65002)});
+  f.settle();
+  ASSERT_GE(f.rs().blackhole_events().size(), 1u);
+  const auto& ev = f.rs().blackhole_events().back();
+  EXPECT_EQ(ev.member, 65001u);
+  EXPECT_EQ(ev.prefix, P4("100.10.10.10/32"));
+  EXPECT_EQ(ev.excluded_peers, 1);
+  EXPECT_FALSE(ev.announce_to_none);
+  EXPECT_FALSE(ev.withdrawn);
+}
+
+TEST(RouteServerTest, ControllerSessionReceivesAllPathsWithAddPath) {
+  RsFixture f;
+  auto endpoint = f.rs().accept_controller();
+  bgp::SessionConfig config;
+  config.local_asn = 64500;
+  config.router_id = net::IPv4Address(10, 99, 0, 2);
+  config.add_path_rx = true;
+  bgp::Session controller(f.queue, endpoint, config);
+  bgp::Rib rib;
+  controller.set_update_handler(
+      [&rib](const bgp::UpdateMessage& u) { rib.apply_update(0, u); });
+  controller.start();
+  f.settle();
+  // Initial sync: all three member prefixes.
+  EXPECT_EQ(rib.size(), 3u);
+
+  // A signal scoped to announce-to-none still reaches the controller.
+  f.m1->announce(P4("100.10.10.10/32"), {bgp::kBlackhole, f.rs().announce_to_none()});
+  f.settle();
+  EXPECT_EQ(rib.routes_for(P4("100.10.10.10/32")).size(), 1u);
+  // Path-ids are nonzero on the ADD-PATH session.
+  EXPECT_NE(rib.routes_for(P4("100.10.10.10/32"))[0].path_id, 0u);
+}
+
+TEST(RouteServerTest, OriginMismatchRejected) {
+  RsFixture f;
+  // Craft an update whose AS path origin differs from the announcing member.
+  bgp::UpdateMessage u;
+  u.attrs.origin = bgp::Origin::kIgp;
+  u.attrs.as_path = {{bgp::AsPathSegment::Type::kSequence, {65099}}};
+  u.attrs.next_hop = net::IPv4Address(10, 99, 1, 1);
+  u.announced = {{0, P4("100.10.10.0/24")}};
+  f.m1->session()->announce(u);
+  f.settle();
+  EXPECT_GE(f.rs().rejects().origin_mismatch, 1u);
+}
+
+}  // namespace
+}  // namespace stellar::ixp

@@ -1,0 +1,72 @@
+#include "mitigation/acl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/ports.hpp"
+
+namespace stellar::mitigation {
+namespace {
+
+net::FlowSample Flow(net::IpProto proto, std::uint16_t src_port, double mbps) {
+  net::FlowSample s;
+  s.key.src_mac = net::MacAddress::ForRouter(65001);
+  s.key.src_ip = net::IPv4Address(1, 2, 3, 4);
+  s.key.dst_ip = net::IPv4Address(100, 10, 10, 10);
+  s.key.proto = proto;
+  s.key.src_port = src_port;
+  s.key.dst_port = 5555;
+  s.bytes = static_cast<std::uint64_t>(mbps * 1e6 / 8.0);
+  return s;
+}
+
+filter::FilterRule DropNtp() {
+  filter::FilterRule rule;
+  rule.match.proto = net::IpProto::kUdp;
+  rule.match.src_port = filter::PortRange::Single(net::kPortNtp);
+  rule.action = filter::FilterAction::kDrop;
+  return rule;
+}
+
+TEST(MemberAclFilterTest, RuleInactiveBeforeDeploymentLatency) {
+  MemberAclFilter acl(300.0);
+  acl.add_rule(100.0, DropNtp());
+  EXPECT_EQ(acl.rule_count(100.0), 0u);
+  EXPECT_EQ(acl.rule_count(399.0), 0u);
+  EXPECT_EQ(acl.rule_count(400.0), 1u);
+  const std::vector<net::FlowSample> flows{Flow(net::IpProto::kUdp, 123, 100)};
+  const auto before = acl.apply(200.0, flows, 1.0);
+  EXPECT_NEAR(before.delivered_mbps, 100.0, 1.0);
+  const auto after = acl.apply(500.0, flows, 1.0);
+  EXPECT_NEAR(after.rule_dropped_mbps, 100.0, 1.0);
+  EXPECT_DOUBLE_EQ(after.delivered_mbps, 0.0);
+}
+
+TEST(MemberAclFilterTest, FiltersOnlyMatchingTraffic) {
+  MemberAclFilter acl(0.0);
+  acl.add_rule(0.0, DropNtp());
+  const std::vector<net::FlowSample> flows{Flow(net::IpProto::kUdp, 123, 500),
+                                           Flow(net::IpProto::kTcp, 443, 100)};
+  const auto r = acl.apply(1.0, flows, 1.0);
+  EXPECT_NEAR(r.rule_dropped_mbps, 500.0, 1.0);
+  EXPECT_NEAR(r.delivered_mbps, 100.0, 1.0);
+}
+
+TEST(MemberAclFilterTest, ClearRemovesRules) {
+  MemberAclFilter acl(0.0);
+  acl.add_rule(0.0, DropNtp());
+  acl.clear();
+  EXPECT_EQ(acl.rule_count(100.0), 0u);
+}
+
+TEST(MemberAclFilterTest, NoPortCapacityLimitInsideMemberNetwork) {
+  // ACL filtering happens after the congested port; the filter itself must
+  // not impose another bottleneck.
+  MemberAclFilter acl(0.0);
+  const std::vector<net::FlowSample> flows{Flow(net::IpProto::kTcp, 443, 50'000)};
+  const auto r = acl.apply(1.0, flows, 1.0);
+  EXPECT_NEAR(r.delivered_mbps, 50'000.0, 10.0);
+  EXPECT_DOUBLE_EQ(r.congestion_dropped_mbps, 0.0);
+}
+
+}  // namespace
+}  // namespace stellar::mitigation

@@ -1,0 +1,95 @@
+// The Table-1 comparison harness as a test: the *orderings* the paper's
+// table encodes must hold on a reduced scenario regardless of calibration.
+#include <gtest/gtest.h>
+
+#include "mitigation/comparison.hpp"
+
+namespace stellar::mitigation {
+namespace {
+
+class ComparisonTest : public ::testing::Test {
+ protected:
+  static const std::vector<TechniqueMetrics>& rows() {
+    // Run the (expensive) scenario suite once for all assertions.
+    static const std::vector<TechniqueMetrics> kRows = [] {
+      ComparisonConfig config;
+      config.members = 24;
+      config.seed = 99;
+      return RunComparison(config);
+    }();
+    return kRows;
+  }
+
+  static const TechniqueMetrics& find(const std::string& name) {
+    for (const auto& r : rows()) {
+      if (r.name == name) return r;
+    }
+    throw std::logic_error("missing technique " + name);
+  }
+};
+
+TEST_F(ComparisonTest, AllSixTechniquesPresent) {
+  EXPECT_EQ(rows().size(), 6u);
+  for (const char* name : {"none", "TSS", "ACL", "RTBH", "Flowspec", "AdvancedBH"}) {
+    EXPECT_NO_THROW(find(name));
+  }
+}
+
+TEST_F(ComparisonTest, AdvancedBlackholingDominates) {
+  const auto& adv = find("AdvancedBH");
+  EXPECT_LT(adv.attack_delivered_pct, 5.0);
+  EXPECT_GT(adv.benign_delivered_pct, 95.0);
+  EXPECT_EQ(adv.cooperating_parties, 0);
+  EXPECT_TRUE(adv.telemetry);
+  EXPECT_FALSE(adv.resource_sharing_required);
+  EXPECT_LT(adv.reaction_time_s, 60.0);
+  EXPECT_EQ(adv.measured_cost, 0.0);
+}
+
+TEST_F(ComparisonTest, RtbhIneffectiveAtRealisticCompliance) {
+  const auto& rtbh = find("RTBH");
+  const auto& none = find("none");
+  // Most of the attack survives, and benign delivery is WORSE than doing
+  // nothing (honoring members drop legitimate traffic too).
+  EXPECT_GT(rtbh.attack_delivered_pct, 50.0);
+  EXPECT_LE(rtbh.benign_delivered_pct, none.benign_delivered_pct + 1.0);
+}
+
+TEST_F(ComparisonTest, AclFiltersButCannotProtectThePort) {
+  const auto& acl = find("ACL");
+  const auto& none = find("none");
+  EXPECT_LT(acl.attack_delivered_pct, 5.0);  // Inside the member network.
+  // But the port congestion upstream is unchanged: benign no better than none.
+  EXPECT_NEAR(acl.benign_delivered_pct, none.benign_delivered_pct, 5.0);
+  EXPECT_GT(acl.reaction_time_s, 100.0);  // Manual deployment.
+}
+
+TEST_F(ComparisonTest, TssEffectiveButSlowAndCostly) {
+  const auto& tss = find("TSS");
+  EXPECT_LT(tss.attack_delivered_pct, 10.0);
+  EXPECT_GT(tss.benign_delivered_pct, 90.0);
+  EXPECT_GT(tss.reaction_time_s, 1000.0);  // Onboarding.
+  EXPECT_GT(tss.measured_cost, 0.0);       // Per-volume fees.
+  EXPECT_TRUE(tss.resource_sharing_required);
+}
+
+TEST_F(ComparisonTest, FlowspecLimitedByAcceptance) {
+  const auto& flowspec = find("Flowspec");
+  // At ~15% inter-domain acceptance most of the attack still arrives.
+  EXPECT_GT(flowspec.attack_delivered_pct, 40.0);
+  EXPECT_TRUE(flowspec.resource_sharing_required);
+  EXPECT_GT(flowspec.cooperating_parties, 1);
+}
+
+TEST_F(ComparisonTest, RenderedTableContainsAllDimensions) {
+  const std::string table = RenderComparisonTable(rows());
+  for (const char* dim :
+       {"granularity", "cooperation", "resource sharing", "telemetry", "scalability",
+        "reaction time", "signaling complexity", "resources", "performance", "costs"}) {
+    EXPECT_NE(table.find(dim), std::string::npos) << dim;
+  }
+  EXPECT_NE(table.find("AdvBH"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stellar::mitigation

@@ -1,0 +1,81 @@
+#include "mitigation/scrubbing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/ports.hpp"
+
+namespace stellar::mitigation {
+namespace {
+
+net::FlowSample Flow(net::IpProto proto, std::uint16_t src_port, double mbps) {
+  net::FlowSample s;
+  s.key.src_mac = net::MacAddress::ForRouter(65001);
+  s.key.src_ip = net::IPv4Address(1, 2, 3, 4);
+  s.key.dst_ip = net::IPv4Address(100, 10, 10, 10);
+  s.key.proto = proto;
+  s.key.src_port = src_port;
+  s.key.dst_port = 5555;
+  s.bytes = static_cast<std::uint64_t>(mbps * 1e6 / 8.0);
+  s.packets = s.bytes / 1000;
+  return s;
+}
+
+bool IsNtp(const net::FlowKey& k) {
+  return k.proto == net::IpProto::kUdp && k.src_port == net::kPortNtp;
+}
+
+TEST(ScrubbingServiceTest, DropsAttackPassesBenign) {
+  ScrubbingService::Config config;
+  config.attack_detection_rate = 1.0;
+  config.false_positive_rate = 0.0;
+  ScrubbingService tss(config);
+  const std::vector<net::FlowSample> diverted{Flow(net::IpProto::kUdp, 123, 900),
+                                              Flow(net::IpProto::kTcp, 443, 100)};
+  const auto r = tss.scrub(diverted, 1.0, IsNtp);
+  EXPECT_NEAR(r.dropped_attack_mbps, 900.0, 1.0);
+  EXPECT_NEAR(r.dropped_benign_mbps, 0.0, 1e-9);
+  ASSERT_EQ(r.clean.size(), 1u);
+  EXPECT_EQ(r.clean[0].key.proto, net::IpProto::kTcp);
+}
+
+TEST(ScrubbingServiceTest, ImperfectClassifierLeaksAndOverblocks) {
+  ScrubbingService::Config config;
+  config.attack_detection_rate = 0.9;
+  config.false_positive_rate = 0.1;
+  ScrubbingService tss(config);
+  const std::vector<net::FlowSample> diverted{Flow(net::IpProto::kUdp, 123, 1000),
+                                              Flow(net::IpProto::kTcp, 443, 100)};
+  const auto r = tss.scrub(diverted, 1.0, IsNtp);
+  EXPECT_NEAR(r.passed_attack_mbps, 100.0, 2.0);   // 10% leaks.
+  EXPECT_NEAR(r.dropped_benign_mbps, 10.0, 1.0);   // 10% false positives.
+}
+
+TEST(ScrubbingServiceTest, OverloadShedsIndiscriminately) {
+  ScrubbingService::Config config;
+  config.capacity_mbps = 500.0;
+  ScrubbingService tss(config);
+  const std::vector<net::FlowSample> diverted{Flow(net::IpProto::kUdp, 123, 900),
+                                              Flow(net::IpProto::kTcp, 443, 100)};
+  const auto r = tss.scrub(diverted, 1.0, IsNtp);
+  EXPECT_NEAR(r.overload_dropped_mbps, 500.0, 2.0);
+}
+
+TEST(ScrubbingServiceTest, VolumeCostCharged) {
+  ScrubbingService tss(ScrubbingService::Config{});
+  const std::vector<net::FlowSample> diverted{Flow(net::IpProto::kUdp, 123, 800)};
+  const auto r = tss.scrub(diverted, 1.0, IsNtp);
+  // 800 Mbit = 100 MB = 0.1 GB at cost_per_gb 0.05.
+  EXPECT_NEAR(r.cost, 0.1 * 0.05, 1e-4);
+  tss.charge(r.cost);
+  EXPECT_GT(tss.total_cost(), 0.0);
+}
+
+TEST(ScrubbingServiceTest, EmptyInput) {
+  ScrubbingService tss(ScrubbingService::Config{});
+  const auto r = tss.scrub({}, 1.0, IsNtp);
+  EXPECT_TRUE(r.clean.empty());
+  EXPECT_DOUBLE_EQ(r.cost, 0.0);
+}
+
+}  // namespace
+}  // namespace stellar::mitigation

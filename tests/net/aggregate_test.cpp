@@ -1,0 +1,155 @@
+#include "net/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace stellar::net {
+namespace {
+
+Prefix4 P4(const char* text) { return Prefix4::Parse(text).value(); }
+
+TEST(AggregateTest, EmptyAndSingle) {
+  EXPECT_TRUE(AggregatePrefixes({}).empty());
+  EXPECT_EQ(AggregatePrefixes({P4("10.0.0.0/24")}), (std::vector<Prefix4>{P4("10.0.0.0/24")}));
+}
+
+TEST(AggregateTest, Deduplicates) {
+  EXPECT_EQ(AggregatePrefixes({P4("10.0.0.0/24"), P4("10.0.0.0/24")}),
+            (std::vector<Prefix4>{P4("10.0.0.0/24")}));
+}
+
+TEST(AggregateTest, RemovesContained) {
+  EXPECT_EQ(AggregatePrefixes({P4("10.0.0.0/16"), P4("10.0.1.0/24"), P4("10.0.2.128/25")}),
+            (std::vector<Prefix4>{P4("10.0.0.0/16")}));
+  // Order independence.
+  EXPECT_EQ(AggregatePrefixes({P4("10.0.1.0/24"), P4("10.0.0.0/16")}),
+            (std::vector<Prefix4>{P4("10.0.0.0/16")}));
+}
+
+TEST(AggregateTest, MergesSiblings) {
+  EXPECT_EQ(AggregatePrefixes({P4("10.0.0.0/24"), P4("10.0.1.0/24")}),
+            (std::vector<Prefix4>{P4("10.0.0.0/23")}));
+}
+
+TEST(AggregateTest, DoesNotMergeNonSiblings) {
+  // 10.0.1.0/24 and 10.0.2.0/24 are adjacent but not aligned siblings.
+  const auto out = AggregatePrefixes({P4("10.0.1.0/24"), P4("10.0.2.0/24")});
+  EXPECT_EQ(out, (std::vector<Prefix4>{P4("10.0.1.0/24"), P4("10.0.2.0/24")}));
+}
+
+TEST(AggregateTest, CascadingMerge) {
+  // Four /26 quarters collapse into one /24.
+  EXPECT_EQ(AggregatePrefixes({P4("10.0.0.0/26"), P4("10.0.0.64/26"), P4("10.0.0.128/26"),
+                               P4("10.0.0.192/26")}),
+            (std::vector<Prefix4>{P4("10.0.0.0/24")}));
+}
+
+TEST(AggregateTest, MergeThenSwallow) {
+  // The /25 pair merges to a /24 which then swallows the trailing /26...
+  // ordering puts /24 first; either way coverage is exact.
+  const auto out =
+      AggregatePrefixes({P4("10.0.0.0/25"), P4("10.0.0.128/25"), P4("10.0.0.192/26")});
+  EXPECT_EQ(out, (std::vector<Prefix4>{P4("10.0.0.0/24")}));
+}
+
+TEST(AggregateTest, SlashZeroSwallowsEverything) {
+  EXPECT_EQ(AggregatePrefixes({P4("0.0.0.0/0"), P4("10.0.0.0/8"), P4("200.1.2.3/32")}),
+            (std::vector<Prefix4>{P4("0.0.0.0/0")}));
+}
+
+TEST(AggregateTest, HostRoutePairMerges) {
+  EXPECT_EQ(AggregatePrefixes({P4("10.0.0.0/32"), P4("10.0.0.1/32")}),
+            (std::vector<Prefix4>{P4("10.0.0.0/31")}));
+}
+
+Prefix6 P6(const char* text) { return Prefix6::Parse(text).value(); }
+
+TEST(Aggregate6Test, MergesSiblingsAndContainment) {
+  EXPECT_EQ(AggregatePrefixes6({P6("2001:db8::/33"), P6("2001:db8:8000::/33")}),
+            (std::vector<Prefix6>{P6("2001:db8::/32")}));
+  EXPECT_EQ(AggregatePrefixes6({P6("2001:db8::/32"), P6("2001:db8:1::/48")}),
+            (std::vector<Prefix6>{P6("2001:db8::/32")}));
+  // Non-aligned neighbours stay separate.
+  const auto out = AggregatePrefixes6({P6("2001:db8:1::/48"), P6("2001:db8:2::/48")});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Aggregate6Test, HostRoutePairMerges) {
+  EXPECT_EQ(AggregatePrefixes6({P6("2001:db8::/128"), P6("2001:db8::1/128")}),
+            (std::vector<Prefix6>{P6("2001:db8::/127")}));
+}
+
+TEST(Aggregate6Test, CoverageProperty) {
+  util::Rng rng(7);
+  for (int iter = 0; iter < 30; ++iter) {
+    std::vector<Prefix6> input;
+    const int n = static_cast<int>(rng.uniform_int(1, 20));
+    for (int i = 0; i < n; ++i) {
+      net::IPv6Address::Bytes b{};
+      b[0] = 0x20;
+      b[1] = 0x01;
+      b[5] = static_cast<std::uint8_t>(rng.uniform_int(0, 3));
+      b[15] = static_cast<std::uint8_t>(rng.uniform_int(0, 7));
+      input.emplace_back(IPv6Address(b),
+                         static_cast<std::uint8_t>(rng.uniform_int(40, 128)));
+    }
+    const auto output = AggregatePrefixes6(input);
+    EXPECT_LE(output.size(), input.size());
+    for (const auto& p : input) EXPECT_TRUE(CoveredBy6(output, p.address()));
+    for (int probe = 0; probe < 100; ++probe) {
+      net::IPv6Address::Bytes b{};
+      b[0] = 0x20;
+      b[1] = 0x01;
+      b[5] = static_cast<std::uint8_t>(rng.uniform_int(0, 3));
+      b[15] = static_cast<std::uint8_t>(rng.uniform_int(0, 15));
+      const IPv6Address addr(b);
+      EXPECT_EQ(CoveredBy6(input, addr), CoveredBy6(output, addr)) << addr.str();
+    }
+    EXPECT_EQ(AggregatePrefixes6(output), output);
+  }
+}
+
+// Property: aggregation preserves coverage exactly and never grows the set.
+class AggregatePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AggregatePropertyTest, CoverageIsExactAndMinimalish) {
+  util::Rng rng(GetParam());
+  for (int iter = 0; iter < 60; ++iter) {
+    std::vector<Prefix4> input;
+    const int n = static_cast<int>(rng.uniform_int(1, 40));
+    for (int i = 0; i < n; ++i) {
+      // Cluster prefixes in a small space so merges actually happen.
+      input.emplace_back(
+          IPv4Address((10u << 24) | static_cast<std::uint32_t>(rng.uniform_int(0, 4095))),
+          static_cast<std::uint8_t>(rng.uniform_int(20, 32)));
+    }
+    const auto output = AggregatePrefixes(input);
+    EXPECT_LE(output.size(), input.size());
+
+    // Exact same coverage, probed on structured + random addresses.
+    for (int probe = 0; probe < 400; ++probe) {
+      const IPv4Address addr(
+          (10u << 24) | static_cast<std::uint32_t>(rng.uniform_int(0, 8191)));
+      EXPECT_EQ(CoveredBy(input, addr), CoveredBy(output, addr)) << addr.str();
+    }
+    for (const auto& p : input) {
+      EXPECT_TRUE(CoveredBy(output, p.address()));
+    }
+    // Output contains no redundancy: no prefix contained in another, no
+    // unmerged sibling pairs.
+    for (std::size_t i = 0; i < output.size(); ++i) {
+      for (std::size_t j = 0; j < output.size(); ++j) {
+        if (i == j) continue;
+        EXPECT_FALSE(output[i].contains(output[j]));
+      }
+    }
+    // Idempotence.
+    EXPECT_EQ(AggregatePrefixes(output), output);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregatePropertyTest, ::testing::Values(41, 42, 43));
+
+}  // namespace
+}  // namespace stellar::net

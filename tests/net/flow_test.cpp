@@ -1,0 +1,74 @@
+#include "net/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "net/ports.hpp"
+
+namespace stellar::net {
+namespace {
+
+FlowKey SampleKey() {
+  FlowKey k;
+  k.src_mac = MacAddress::ForRouter(65001);
+  k.src_ip = IPv4Address(1, 2, 3, 4);
+  k.dst_ip = IPv4Address(100, 10, 10, 10);
+  k.proto = IpProto::kUdp;
+  k.src_port = 123;
+  k.dst_port = 4444;
+  return k;
+}
+
+TEST(FlowKeyTest, EqualityAndHash) {
+  const FlowKey a = SampleKey();
+  FlowKey b = SampleKey();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(std::hash<FlowKey>{}(a), std::hash<FlowKey>{}(b));
+  b.src_port = 124;
+  EXPECT_NE(a, b);
+}
+
+TEST(FlowKeyTest, UsableInUnorderedSet) {
+  std::unordered_set<FlowKey> set;
+  set.insert(SampleKey());
+  set.insert(SampleKey());
+  EXPECT_EQ(set.size(), 1u);
+  FlowKey other = SampleKey();
+  other.dst_port = 1;
+  set.insert(other);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(FlowKeyTest, StrContainsEndpoints) {
+  const std::string s = SampleKey().str();
+  EXPECT_NE(s.find("udp"), std::string::npos);
+  EXPECT_NE(s.find("1.2.3.4:123"), std::string::npos);
+  EXPECT_NE(s.find("100.10.10.10:4444"), std::string::npos);
+}
+
+TEST(FlowSampleTest, MbpsConversion) {
+  FlowSample s;
+  s.bytes = 1'250'000;  // 10 Mbit.
+  EXPECT_DOUBLE_EQ(s.mbps(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.mbps(10.0), 1.0);
+}
+
+TEST(ProtoTest, Names) {
+  EXPECT_EQ(ToString(IpProto::kTcp), "tcp");
+  EXPECT_EQ(ToString(IpProto::kUdp), "udp");
+  EXPECT_EQ(ToString(IpProto::kIcmp), "icmp");
+}
+
+TEST(PortsTest, AmplificationCatalogMatchesPaperFig3a) {
+  // Ports 0, 123, 389, 11211, 53, 19 — the dominant blackholed ports.
+  std::vector<std::uint16_t> ports;
+  for (const auto& svc : kAmplificationServices) ports.push_back(svc.udp_port);
+  EXPECT_EQ(ports, (std::vector<std::uint16_t>{0, 123, 389, 11211, 53, 19}));
+  for (const auto& svc : kAmplificationServices) {
+    EXPECT_GT(svc.bandwidth_amplification_factor, 1.0) << svc.name;
+  }
+}
+
+}  // namespace
+}  // namespace stellar::net

@@ -1,0 +1,176 @@
+#include "net/ip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace stellar::net {
+namespace {
+
+TEST(IPv4AddressTest, ParseAndFormatRoundTrip) {
+  const auto a = IPv4Address::Parse("192.168.1.200");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->str(), "192.168.1.200");
+  EXPECT_EQ(a->value(), 0xc0a801c8u);
+}
+
+TEST(IPv4AddressTest, OctetConstructor) {
+  EXPECT_EQ(IPv4Address(10, 0, 0, 1).str(), "10.0.0.1");
+  EXPECT_EQ(IPv4Address(255, 255, 255, 255).value(), 0xffffffffu);
+}
+
+TEST(IPv4AddressTest, RejectsMalformed) {
+  for (const char* bad : {"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3",
+                          "1.2.3.4 ", "1.2.3.-4"}) {
+    EXPECT_FALSE(IPv4Address::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(IPv4AddressTest, Ordering) {
+  EXPECT_LT(IPv4Address(1, 0, 0, 0), IPv4Address(2, 0, 0, 0));
+  EXPECT_EQ(IPv4Address(1, 2, 3, 4), IPv4Address::Parse("1.2.3.4").value());
+}
+
+TEST(Prefix4Test, ParseWithAndWithoutLength) {
+  const auto p = Prefix4::Parse("10.20.0.0/16");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->str(), "10.20.0.0/16");
+  const auto host = Prefix4::Parse("10.20.30.40");
+  ASSERT_TRUE(host.ok());
+  EXPECT_EQ(host->length(), 32);
+}
+
+TEST(Prefix4Test, CanonicalizesHostBits) {
+  const auto p = Prefix4::Parse("10.20.30.40/16");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->str(), "10.20.0.0/16");
+}
+
+TEST(Prefix4Test, RejectsBadLength) {
+  EXPECT_FALSE(Prefix4::Parse("10.0.0.0/33").ok());
+  EXPECT_FALSE(Prefix4::Parse("10.0.0.0/").ok());
+  EXPECT_FALSE(Prefix4::Parse("10.0.0.0/1x").ok());
+}
+
+TEST(Prefix4Test, ContainsAddress) {
+  const auto p = Prefix4::Parse("100.10.10.0/24").value();
+  EXPECT_TRUE(p.contains(IPv4Address(100, 10, 10, 10)));
+  EXPECT_FALSE(p.contains(IPv4Address(100, 10, 11, 10)));
+}
+
+TEST(Prefix4Test, ContainsPrefix) {
+  const auto p24 = Prefix4::Parse("100.10.10.0/24").value();
+  const auto p32 = Prefix4::Parse("100.10.10.10/32").value();
+  const auto p16 = Prefix4::Parse("100.10.0.0/16").value();
+  EXPECT_TRUE(p24.contains(p32));
+  EXPECT_FALSE(p32.contains(p24));
+  EXPECT_TRUE(p16.contains(p24));
+  EXPECT_TRUE(p24.contains(p24));
+}
+
+TEST(Prefix4Test, ZeroLengthContainsEverything) {
+  const auto def = Prefix4::Parse("0.0.0.0/0").value();
+  EXPECT_TRUE(def.contains(IPv4Address(255, 1, 2, 3)));
+  EXPECT_EQ(def.mask(), 0u);
+}
+
+TEST(Prefix4Test, HostRoute) {
+  const auto h = Prefix4::HostRoute(IPv4Address(1, 2, 3, 4));
+  EXPECT_EQ(h.str(), "1.2.3.4/32");
+  EXPECT_TRUE(h.contains(IPv4Address(1, 2, 3, 4)));
+}
+
+TEST(IPv6AddressTest, ParseFullForm) {
+  const auto a = IPv6Address::Parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->str(), "2001:db8::1");
+}
+
+TEST(IPv6AddressTest, ParseCompressedForms) {
+  EXPECT_EQ(IPv6Address::Parse("::").value().str(), "::");
+  EXPECT_EQ(IPv6Address::Parse("::1").value().str(), "::1");
+  EXPECT_EQ(IPv6Address::Parse("fe80::").value().str(), "fe80::");
+  EXPECT_EQ(IPv6Address::Parse("2001:db8::8:800:200c:417a").value().str(),
+            "2001:db8::8:800:200c:417a");
+}
+
+TEST(IPv6AddressTest, EmbeddedIPv4) {
+  const auto a = IPv6Address::Parse("::ffff:192.0.2.1");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->hextet(5), 0xffff);
+  EXPECT_EQ(a->hextet(6), 0xc000);
+  EXPECT_EQ(a->hextet(7), 0x0201);
+}
+
+TEST(IPv6AddressTest, RejectsMalformed) {
+  for (const char* bad : {"", ":::", "1::2::3", "12345::", "g::1",
+                          "1:2:3:4:5:6:7:8:9", "1:2:3:4:5:6:7"}) {
+    EXPECT_FALSE(IPv6Address::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(IPv6AddressTest, Rfc5952CompressesLongestRun) {
+  // Two zero runs: the longer one is compressed.
+  const auto a = IPv6Address::Parse("2001:0:0:1:0:0:0:1");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->str(), "2001:0:0:1::1");
+}
+
+TEST(Prefix6Test, ParseContainsFormat) {
+  const auto p = Prefix6::Parse("2001:db8::/32").value();
+  EXPECT_EQ(p.str(), "2001:db8::/32");
+  EXPECT_TRUE(p.contains(IPv6Address::Parse("2001:db8:1::1").value()));
+  EXPECT_FALSE(p.contains(IPv6Address::Parse("2001:db9::1").value()));
+  EXPECT_TRUE(p.contains(Prefix6::Parse("2001:db8:ff::/48").value()));
+}
+
+TEST(Prefix6Test, CanonicalizesHostBits) {
+  const auto p = Prefix6::Parse("2001:db8::ff/32").value();
+  EXPECT_EQ(p.str(), "2001:db8::/32");
+}
+
+TEST(Prefix6Test, RejectsBadLength) { EXPECT_FALSE(Prefix6::Parse("::/129").ok()); }
+
+// Property: parse(str(x)) == x for random addresses and prefixes.
+class IpRoundTripTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IpRoundTripTest, IPv4RoundTrip) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const IPv4Address a(static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffffffll)));
+    const auto parsed = IPv4Address::Parse(a.str());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, a);
+  }
+}
+
+TEST_P(IpRoundTripTest, Prefix4RoundTrip) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Prefix4 p(IPv4Address(static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffffffll))),
+                    static_cast<std::uint8_t>(rng.uniform_int(0, 32)));
+    const auto parsed = Prefix4::Parse(p.str());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, p);
+  }
+}
+
+TEST_P(IpRoundTripTest, IPv6RoundTrip) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    IPv6Address::Bytes b{};
+    for (auto& byte : b) {
+      // Bias towards zeros so "::" compression paths get exercised.
+      byte = rng.chance(0.5) ? 0 : static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    const IPv6Address a(b);
+    const auto parsed = IPv6Address::Parse(a.str());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, a) << a.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IpRoundTripTest, ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace stellar::net

@@ -1,0 +1,52 @@
+#include "net/mac.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stellar::net {
+namespace {
+
+TEST(MacAddressTest, ParseAndFormatRoundTrip) {
+  const auto m = MacAddress::Parse("02:ab:cd:EF:00:01");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->str(), "02:ab:cd:ef:00:01");
+}
+
+TEST(MacAddressTest, DashSeparatorsAccepted) {
+  const auto m = MacAddress::Parse("02-00-00-00-00-ff");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->bytes()[5], 0xff);
+}
+
+TEST(MacAddressTest, RejectsMalformed) {
+  for (const char* bad : {"", "02:00:00:00:00", "02:00:00:00:00:00:00", "0g:00:00:00:00:00",
+                          "2:0:0:0:0:0", "02:00:00:00:00:001"}) {
+    EXPECT_FALSE(MacAddress::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(MacAddressTest, ForRouterIsLocallyAdministeredUnicast) {
+  const auto m = MacAddress::ForRouter(65001, 3);
+  EXPECT_EQ(m.bytes()[0] & 0x02, 0x02);  // Locally administered.
+  EXPECT_EQ(m.bytes()[0] & 0x01, 0x00);  // Unicast.
+  EXPECT_EQ(m.bytes()[5], 3);
+}
+
+TEST(MacAddressTest, ForRouterIsInjectiveOverAsn) {
+  EXPECT_NE(MacAddress::ForRouter(65001), MacAddress::ForRouter(65002));
+  EXPECT_NE(MacAddress::ForRouter(65001, 0), MacAddress::ForRouter(65001, 1));
+  EXPECT_EQ(MacAddress::ForRouter(65001), MacAddress::ForRouter(65001));
+}
+
+TEST(MacAddressTest, AsU64Matches) {
+  const auto m = MacAddress::Parse("01:02:03:04:05:06").value();
+  EXPECT_EQ(m.as_u64(), 0x010203040506ULL);
+}
+
+TEST(MacAddressTest, HashUsableInUnorderedContainers) {
+  const std::hash<MacAddress> h;
+  EXPECT_EQ(h(MacAddress::ForRouter(1)), h(MacAddress::ForRouter(1)));
+  EXPECT_NE(h(MacAddress::ForRouter(1)), h(MacAddress::ForRouter(2)));
+}
+
+}  // namespace
+}  // namespace stellar::net

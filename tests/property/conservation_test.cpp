@@ -1,0 +1,178 @@
+// Property tests for the data-plane invariants: traffic is conserved across
+// every classification outcome (delivered + all drop classes == offered),
+// ports never emit above capacity, shapers never pass above their rate, and
+// the token bucket never exceeds its long-term rate budget — for *random*
+// policies and traffic mixes, not hand-picked ones.
+#include <gtest/gtest.h>
+
+#include "filter/qos.hpp"
+#include "filter/token_bucket.hpp"
+#include "ixp/fabric.hpp"
+#include "net/ports.hpp"
+#include "util/rng.hpp"
+
+namespace stellar {
+namespace {
+
+net::FlowSample RandomFlow(util::Rng& rng, const net::Prefix4& dst_space) {
+  net::FlowSample s;
+  s.key.src_mac =
+      net::MacAddress::ForRouter(static_cast<std::uint32_t>(rng.uniform_int(60001, 60040)));
+  s.key.src_ip = net::IPv4Address(static_cast<std::uint32_t>(rng.uniform_int(1, 0xdfffffff)));
+  s.key.dst_ip = net::IPv4Address(dst_space.address().value() |
+                                  static_cast<std::uint32_t>(rng.uniform_int(
+                                      1, (1u << (32 - dst_space.length())) - 1)));
+  s.key.proto = rng.chance(0.5) ? net::IpProto::kUdp
+                : rng.chance(0.9) ? net::IpProto::kTcp
+                                  : net::IpProto::kIcmp;
+  s.key.src_port = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+  s.key.dst_port = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+  s.bytes = static_cast<std::uint64_t>(rng.uniform(1e3, 5e8));
+  s.packets = s.bytes / 1000;
+  return s;
+}
+
+filter::FilterRule RandomRule(util::Rng& rng, const net::Prefix4& dst_space) {
+  filter::FilterRule rule;
+  if (rng.chance(0.7)) rule.match.dst_prefix = dst_space;
+  if (rng.chance(0.6)) {
+    rule.match.proto = rng.chance(0.7) ? net::IpProto::kUdp : net::IpProto::kTcp;
+  }
+  if (rng.chance(0.5)) {
+    rule.match.src_port =
+        filter::PortRange::Single(static_cast<std::uint16_t>(rng.uniform_int(0, 1024)));
+  }
+  if (rng.chance(0.2)) {
+    const auto lo = static_cast<std::uint16_t>(rng.uniform_int(0, 60000));
+    rule.match.dst_port = filter::PortRange{lo, static_cast<std::uint16_t>(
+                                                    lo + rng.uniform_int(0, 5000))};
+  }
+  const double action = rng.uniform();
+  if (action < 0.4) {
+    rule.action = filter::FilterAction::kDrop;
+  } else if (action < 0.8) {
+    rule.action = filter::FilterAction::kShape;
+    rule.shape_rate_mbps = rng.uniform(10.0, 2000.0);
+  } else {
+    rule.action = filter::FilterAction::kForward;
+  }
+  return rule;
+}
+
+class ConservationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConservationTest, QosConservesTrafficForRandomPoliciesAndMixes) {
+  util::Rng rng(GetParam());
+  const auto dst_space = net::Prefix4::Parse("100.10.10.0/24").value();
+  for (int iter = 0; iter < 60; ++iter) {
+    filter::QosPolicy policy;
+    const int n_rules = static_cast<int>(rng.uniform_int(0, 8));
+    for (int r = 0; r < n_rules; ++r) {
+      policy.add_rule(static_cast<filter::RuleId>(r + 1), RandomRule(rng, dst_space));
+    }
+    std::vector<net::FlowSample> demand;
+    const int n_flows = static_cast<int>(rng.uniform_int(1, 60));
+    for (int f = 0; f < n_flows; ++f) demand.push_back(RandomFlow(rng, dst_space));
+    const double capacity = rng.uniform(100.0, 20'000.0);
+    const double bin_s = rng.uniform(0.5, 30.0);
+
+    const auto result = ApplyEgressQos(demand, policy, capacity, bin_s);
+
+    // Conservation.
+    EXPECT_NEAR(result.offered_mbps,
+                result.delivered_mbps + result.rule_dropped_mbps +
+                    result.shaper_dropped_mbps + result.congestion_dropped_mbps,
+                result.offered_mbps * 1e-6 + 0.2);
+    // Port capacity respected (fluid tolerance).
+    EXPECT_LE(result.delivered_mbps, capacity * 1.001 + 0.1);
+    // Per-flow delivered never exceeds per-flow offered.
+    std::unordered_map<net::FlowKey, std::uint64_t> offered_by_key;
+    for (const auto& d : demand) offered_by_key[d.key] += d.bytes;
+    for (const auto& out : result.delivered) {
+      EXPECT_LE(out.bytes, offered_by_key.at(out.key));
+    }
+    // Per-rule counters: dropped + delivered <= matched.
+    for (const auto& [id, counters] : result.rule_counters) {
+      EXPECT_LE(counters.dropped_bytes + counters.delivered_bytes,
+                counters.matched_bytes + 1);
+    }
+  }
+}
+
+TEST_P(ConservationTest, ShapersNeverExceedTheirRate) {
+  util::Rng rng(GetParam() + 100);
+  const auto dst_space = net::Prefix4::Parse("100.10.10.0/24").value();
+  for (int iter = 0; iter < 40; ++iter) {
+    filter::QosPolicy policy;
+    filter::FilterRule shaper;
+    shaper.match.proto = net::IpProto::kUdp;
+    shaper.action = filter::FilterAction::kShape;
+    shaper.shape_rate_mbps = rng.uniform(10.0, 500.0);
+    policy.add_rule(1, shaper);
+
+    std::vector<net::FlowSample> demand;
+    for (int f = 0; f < 20; ++f) demand.push_back(RandomFlow(rng, dst_space));
+    const auto result = ApplyEgressQos(demand, policy, 1e6, 1.0);
+
+    double udp_delivered = 0.0;
+    for (const auto& out : result.delivered) {
+      if (out.key.proto == net::IpProto::kUdp) udp_delivered += out.mbps(1.0);
+    }
+    EXPECT_LE(udp_delivered, shaper.shape_rate_mbps * 1.001 + 0.1);
+  }
+}
+
+TEST_P(ConservationTest, FabricConservesAcrossAllDropClasses) {
+  util::Rng rng(GetParam() + 200);
+  filter::EdgeRouter er("er1", filter::TcamLimits{});
+  ixp::Fabric fabric(er);
+  const auto space_a = net::Prefix4::Parse("100.10.10.0/24").value();
+  const auto space_b = net::Prefix4::Parse("100.10.20.0/24").value();
+  er.add_port(1, 500.0);
+  er.add_port(2, 5'000.0);
+  fabric.register_owner(space_a, 1);
+  fabric.register_owner(space_b, 2);
+  ASSERT_TRUE(er.install_rule(1, RandomRule(rng, space_a)).ok());
+  ASSERT_TRUE(er.install_rule(2, RandomRule(rng, space_b)).ok());
+  fabric.set_ingress_blackhole_fn([](const net::MacAddress& mac, net::IPv4Address) {
+    return mac.bytes()[5] % 5 == 0;  // Some members blackhole everything.
+  });
+
+  for (int iter = 0; iter < 30; ++iter) {
+    std::vector<net::FlowSample> offered;
+    const int n = static_cast<int>(rng.uniform_int(1, 80));
+    for (int f = 0; f < n; ++f) {
+      auto flow = RandomFlow(rng, rng.chance(0.5) ? space_a : space_b);
+      if (rng.chance(0.1)) flow.key.dst_ip = net::IPv4Address(9, 9, 9, 9);  // Unrouted.
+      offered.push_back(flow);
+    }
+    const auto report = fabric.deliver(offered, 1.0);
+    EXPECT_NEAR(report.offered_mbps,
+                report.delivered_mbps + report.unrouted_mbps + report.rtbh_dropped_mbps +
+                    report.rule_dropped_mbps + report.shaper_dropped_mbps +
+                    report.congestion_dropped_mbps,
+                report.offered_mbps * 1e-6 + 0.2);
+  }
+}
+
+TEST_P(ConservationTest, TokenBucketNeverExceedsLongTermBudget) {
+  util::Rng rng(GetParam() + 300);
+  for (int iter = 0; iter < 20; ++iter) {
+    const double rate = rng.uniform(0.5, 20.0);
+    const double burst = rng.uniform(1.0, 10.0);
+    filter::TokenBucket bucket(rate, burst);
+    double now = 0.0;
+    double granted = 0.0;
+    for (int op = 0; op < 2000; ++op) {
+      now += rng.exponential(5.0);  // Aggressive arrival rate.
+      const double want = rng.uniform(0.1, std::min(burst, 2.0));
+      if (bucket.try_consume(want, now)) granted += want;
+    }
+    EXPECT_LE(granted, burst + rate * now + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConservationTest, ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace stellar

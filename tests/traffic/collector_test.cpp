@@ -1,0 +1,140 @@
+#include "traffic/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/ports.hpp"
+
+namespace stellar::traffic {
+namespace {
+
+net::FlowSample Sample(double t, net::IpProto proto, std::uint16_t src_port,
+                       std::uint16_t dst_port, std::uint64_t bytes, std::uint32_t src_asn = 65001) {
+  net::FlowSample s;
+  s.time_s = t;
+  s.key.src_mac = net::MacAddress::ForRouter(src_asn);
+  s.key.src_ip = net::IPv4Address(1, 2, 3, 4);
+  s.key.dst_ip = net::IPv4Address(100, 10, 10, 10);
+  s.key.proto = proto;
+  s.key.src_port = src_port;
+  s.key.dst_port = dst_port;
+  s.bytes = bytes;
+  s.packets = 1;
+  return s;
+}
+
+TEST(ServicePortTest, PrefersKnownSourcePort) {
+  // Amplification responses: service port on the source side.
+  EXPECT_EQ(ServicePort(Sample(0, net::IpProto::kUdp, 11211, 4444, 1).key), 11211);
+  EXPECT_EQ(ServicePort(Sample(0, net::IpProto::kUdp, 123, 4444, 1).key), 123);
+}
+
+TEST(ServicePortTest, FallsBackToKnownDstPort) {
+  // Client->server web traffic: service port on the destination side.
+  EXPECT_EQ(ServicePort(Sample(0, net::IpProto::kTcp, 50000, 443, 1).key), 443);
+}
+
+TEST(ServicePortTest, UnknownPortsUseMinimum) {
+  EXPECT_EQ(ServicePort(Sample(0, net::IpProto::kUdp, 40000, 30000, 1).key), 30000);
+}
+
+TEST(FlowCollectorTest, BinsByTime) {
+  FlowCollector c(60.0);
+  c.ingest(Sample(10.0, net::IpProto::kTcp, 50000, 443, 7'500'000));   // 1 Mbps over 60 s.
+  c.ingest(Sample(70.0, net::IpProto::kTcp, 50000, 443, 15'000'000));  // 2 Mbps.
+  EXPECT_NEAR(c.mbps_at(30.0), 1.0, 1e-9);
+  EXPECT_NEAR(c.mbps_at(90.0), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(c.mbps_at(200.0), 0.0);
+  EXPECT_EQ(c.bins().size(), 2u);
+}
+
+TEST(FlowCollectorTest, PeersCountsDistinctSourceMacs) {
+  FlowCollector c(10.0);
+  c.ingest(Sample(1.0, net::IpProto::kUdp, 123, 1, 100, 65001));
+  c.ingest(Sample(2.0, net::IpProto::kUdp, 123, 2, 100, 65002));
+  c.ingest(Sample(3.0, net::IpProto::kUdp, 123, 3, 100, 65001));
+  EXPECT_EQ(c.peers_at(5.0), 2u);
+  EXPECT_EQ(c.peers_at(50.0), 0u);
+}
+
+TEST(FlowCollectorTest, ServicePortShares) {
+  FlowCollector c(10.0);
+  c.ingest(Sample(1.0, net::IpProto::kUdp, 11211, 4444, 900));
+  c.ingest(Sample(2.0, net::IpProto::kTcp, 50000, 443, 100));
+  const auto shares = c.service_port_shares(0.0, 10.0);
+  EXPECT_NEAR(shares.at(11211), 0.9, 1e-9);
+  EXPECT_NEAR(shares.at(443), 0.1, 1e-9);
+}
+
+TEST(FlowCollectorTest, WindowBoundariesAreHalfOpen) {
+  FlowCollector c(10.0);
+  c.ingest(Sample(5.0, net::IpProto::kUdp, 123, 1, 100));
+  c.ingest(Sample(15.0, net::IpProto::kUdp, 123, 1, 200));
+  EXPECT_EQ(c.total_bytes(0.0, 10.0), 100u);
+  EXPECT_EQ(c.total_bytes(0.0, 20.0), 300u);
+  EXPECT_EQ(c.total_bytes(10.0, 20.0), 200u);
+}
+
+TEST(FlowCollectorTest, UdpSrcPortShares) {
+  FlowCollector c(10.0);
+  c.ingest(Sample(1.0, net::IpProto::kUdp, 123, 1, 600));
+  c.ingest(Sample(1.0, net::IpProto::kUdp, 53, 1, 300));
+  c.ingest(Sample(1.0, net::IpProto::kTcp, 443, 1, 100));
+  const auto shares = c.udp_src_port_shares(0.0, 10.0);
+  EXPECT_NEAR(shares.at(123), 0.6, 1e-9);
+  EXPECT_NEAR(shares.at(53), 0.3, 1e-9);
+  EXPECT_FALSE(shares.contains(443));  // TCP traffic is not a UDP source port.
+}
+
+TEST(FlowCollectorTest, ProtocolShares) {
+  FlowCollector c(10.0);
+  c.ingest(Sample(1.0, net::IpProto::kUdp, 123, 1, 999));
+  c.ingest(Sample(1.0, net::IpProto::kTcp, 443, 1, 1));
+  const auto [udp, tcp] = c.protocol_shares(0.0, 10.0);
+  EXPECT_NEAR(udp, 0.999, 1e-9);
+  EXPECT_NEAR(tcp, 0.001, 1e-9);
+}
+
+TEST(FlowCollectorTest, EmptyWindowsReturnZeros) {
+  FlowCollector c(10.0);
+  EXPECT_EQ(c.total_bytes(0.0, 100.0), 0u);
+  EXPECT_TRUE(c.service_port_shares(0.0, 100.0).empty());
+  const auto [udp, tcp] = c.protocol_shares(0.0, 100.0);
+  EXPECT_DOUBLE_EQ(udp, 0.0);
+  EXPECT_DOUBLE_EQ(tcp, 0.0);
+}
+
+TEST(FlowCollectorTest, TopServicePorts) {
+  FlowCollector c(10.0);
+  c.ingest(Sample(1.0, net::IpProto::kUdp, 11211, 4444, 900));
+  c.ingest(Sample(2.0, net::IpProto::kTcp, 50000, 443, 500));
+  c.ingest(Sample(3.0, net::IpProto::kUdp, 123, 4444, 100));
+  const auto top = c.top_service_ports(0.0, 10.0, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 11211);
+  EXPECT_EQ(top[0].second, 900u);
+  EXPECT_EQ(top[1].first, 443);
+  // k larger than distinct ports returns all of them.
+  EXPECT_EQ(c.top_service_ports(0.0, 10.0, 99).size(), 3u);
+  EXPECT_TRUE(c.top_service_ports(50.0, 60.0, 5).empty());
+}
+
+TEST(FlowCollectorTest, DistinctPeersAcrossWindow) {
+  FlowCollector c(10.0);
+  c.ingest(Sample(1.0, net::IpProto::kUdp, 123, 1, 100, 65001));
+  c.ingest(Sample(15.0, net::IpProto::kUdp, 123, 1, 100, 65002));
+  c.ingest(Sample(25.0, net::IpProto::kUdp, 123, 1, 100, 65001));
+  EXPECT_EQ(c.distinct_peers(0.0, 30.0), 2u);
+  EXPECT_EQ(c.distinct_peers(10.0, 20.0), 1u);
+  EXPECT_EQ(c.distinct_peers(40.0, 50.0), 0u);
+}
+
+TEST(FlowCollectorTest, SpanIngest) {
+  FlowCollector c(10.0);
+  std::vector<net::FlowSample> batch{Sample(1.0, net::IpProto::kUdp, 123, 1, 100),
+                                     Sample(2.0, net::IpProto::kUdp, 53, 1, 100)};
+  c.ingest(batch);
+  EXPECT_EQ(c.total_bytes(0.0, 10.0), 200u);
+}
+
+}  // namespace
+}  // namespace stellar::traffic

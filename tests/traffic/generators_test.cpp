@@ -1,0 +1,186 @@
+#include "traffic/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace stellar::traffic {
+namespace {
+
+std::vector<SourceMember> MakeSources(int n) {
+  std::vector<SourceMember> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(SourceMember{
+        net::MacAddress::ForRouter(static_cast<std::uint32_t>(65001 + i)),
+        net::Prefix4(net::IPv4Address((60u << 24) | (static_cast<std::uint32_t>(i) << 12)), 20)});
+  }
+  return out;
+}
+
+double TotalMbps(const std::vector<net::FlowSample>& samples, double bin_s) {
+  double total = 0.0;
+  for (const auto& s : samples) total += s.mbps(bin_s);
+  return total;
+}
+
+TEST(RandomHostInTest, StaysInsidePrefixAndAvoidsNetworkAddress) {
+  util::Rng rng(1);
+  const auto space = net::Prefix4::Parse("60.1.0.0/20").value();
+  for (int i = 0; i < 500; ++i) {
+    const auto ip = RandomHostIn(space, rng);
+    EXPECT_TRUE(space.contains(ip));
+    EXPECT_NE(ip, space.address());
+  }
+  // A /32 returns the address itself.
+  const auto host = net::Prefix4::Parse("1.2.3.4/32").value();
+  EXPECT_EQ(RandomHostIn(host, rng), net::IPv4Address(1, 2, 3, 4));
+}
+
+TEST(WebTrafficGeneratorTest, ProducesConfiguredRate) {
+  WebTrafficGenerator::Config config;
+  config.target = net::IPv4Address(100, 10, 10, 10);
+  config.rate_mbps = 400.0;
+  config.rate_jitter = 0.0;
+  WebTrafficGenerator gen(config, MakeSources(10), 42);
+  const auto samples = gen.bin(0.0, 1.0);
+  EXPECT_NEAR(TotalMbps(samples, 1.0), 400.0, 10.0);
+  for (const auto& s : samples) EXPECT_EQ(s.key.dst_ip, config.target);
+}
+
+TEST(WebTrafficGeneratorTest, PortMixApproximatesWeights) {
+  WebTrafficGenerator::Config config;
+  config.target = net::IPv4Address(100, 10, 10, 10);
+  config.rate_mbps = 1000.0;
+  config.rate_jitter = 0.0;
+  config.flows_per_bin = 256;
+  WebTrafficGenerator gen(config, MakeSources(10), 42);
+  double https = 0.0;
+  double total = 0.0;
+  for (int t = 0; t < 50; ++t) {
+    for (const auto& s : gen.bin(t, 1.0)) {
+      total += static_cast<double>(s.bytes);
+      if (s.key.dst_port == net::kPortHttps) https += static_cast<double>(s.bytes);
+    }
+  }
+  EXPECT_NEAR(https / total, 0.54, 0.05);
+}
+
+TEST(WebTrafficGeneratorTest, MostlyTcp) {
+  WebTrafficGenerator::Config config;
+  config.target = net::IPv4Address(100, 10, 10, 10);
+  WebTrafficGenerator gen(config, MakeSources(5), 1);
+  int tcp = 0;
+  int all = 0;
+  for (int t = 0; t < 20; ++t) {
+    for (const auto& s : gen.bin(t, 1.0)) {
+      ++all;
+      if (s.key.proto == net::IpProto::kTcp) ++tcp;
+    }
+  }
+  EXPECT_GT(static_cast<double>(tcp) / all, 0.9);
+}
+
+TEST(WebTrafficGeneratorTest, DeterministicAcrossSeeds) {
+  WebTrafficGenerator::Config config;
+  config.target = net::IPv4Address(100, 10, 10, 10);
+  WebTrafficGenerator a(config, MakeSources(5), 7);
+  WebTrafficGenerator b(config, MakeSources(5), 7);
+  const auto sa = a.bin(0.0, 1.0);
+  const auto sb = b.bin(0.0, 1.0);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].key, sb[i].key);
+    EXPECT_EQ(sa[i].bytes, sb[i].bytes);
+  }
+}
+
+TEST(WebTrafficGeneratorTest, RequiresSources) {
+  WebTrafficGenerator::Config config;
+  EXPECT_THROW(WebTrafficGenerator(config, {}, 1), std::invalid_argument);
+}
+
+TEST(AmplificationAttackTest, EnvelopeShape) {
+  AmplificationAttackGenerator::Config config;
+  config.target = net::IPv4Address(100, 10, 10, 10);
+  config.start_s = 100.0;
+  config.end_s = 700.0;
+  config.ramp_s = 20.0;
+  AmplificationAttackGenerator gen(config, MakeSources(50), 3);
+  EXPECT_DOUBLE_EQ(gen.envelope(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(gen.envelope(100.0), 0.0);
+  EXPECT_NEAR(gen.envelope(110.0), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(gen.envelope(120.0), 1.0);
+  EXPECT_DOUBLE_EQ(gen.envelope(500.0), 1.0);
+  EXPECT_DOUBLE_EQ(gen.envelope(700.0), 0.0);
+}
+
+TEST(AmplificationAttackTest, PeakRateAndSignature) {
+  AmplificationAttackGenerator::Config config;
+  config.target = net::IPv4Address(100, 10, 10, 10);
+  config.peak_mbps = 1000.0;
+  config.start_s = 0.0;
+  config.end_s = 600.0;
+  config.ramp_s = 1.0;
+  config.jitter = 0.0;
+  AmplificationAttackGenerator gen(config, MakeSources(50), 4);
+  const auto samples = gen.bin(300.0, 1.0);
+  EXPECT_NEAR(TotalMbps(samples, 1.0), 1000.0, 50.0);
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.key.proto, net::IpProto::kUdp);
+    EXPECT_EQ(s.key.src_port, config.service.udp_port);  // NTP reflection signature.
+    EXPECT_EQ(s.key.dst_ip, config.target);
+  }
+}
+
+TEST(AmplificationAttackTest, ArrivesViaConfiguredNumberOfMembers) {
+  auto config = BooterNtpAttack(net::IPv4Address(100, 10, 10, 10), 1000.0, 0.0, 600.0);
+  AmplificationAttackGenerator gen(config, MakeSources(200), 5);
+  std::set<net::MacAddress> macs;
+  for (const auto& s : gen.bin(300.0, 1.0)) macs.insert(s.key.src_mac);
+  // Booter profile: ~55 members carry traffic (paper: ~60 peers).
+  EXPECT_GE(macs.size(), 40u);
+  EXPECT_LE(macs.size(), 55u);
+}
+
+TEST(AmplificationAttackTest, ReflectorVolumesAreHeavyTailed) {
+  AmplificationAttackGenerator::Config config;
+  config.target = net::IPv4Address(100, 10, 10, 10);
+  config.peak_mbps = 1000.0;
+  config.start_s = 0.0;
+  config.end_s = 100.0;
+  config.ramp_s = 1.0;
+  config.reflectors = 500;
+  AmplificationAttackGenerator gen(config, MakeSources(50), 6);
+  auto samples = gen.bin(50.0, 1.0);
+  ASSERT_GT(samples.size(), 100u);
+  std::vector<std::uint64_t> bytes;
+  for (const auto& s : samples) bytes.push_back(s.bytes);
+  std::sort(bytes.rbegin(), bytes.rend());
+  double top10 = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    if (i < bytes.size() / 10) top10 += static_cast<double>(bytes[i]);
+    total += static_cast<double>(bytes[i]);
+  }
+  EXPECT_GT(top10 / total, 0.3);  // Top 10% of reflectors carry >30%.
+}
+
+TEST(BackgroundTrafficTest, ProtocolMixMatchesMeasurement) {
+  BackgroundTrafficGenerator::Config config;
+  config.dst_space = net::Prefix4::Parse("50.0.0.0/8").value();
+  config.rate_mbps = 1000.0;
+  BackgroundTrafficGenerator gen(config, MakeSources(20), 8);
+  double tcp = 0.0;
+  double total = 0.0;
+  for (int t = 0; t < 50; ++t) {
+    for (const auto& s : gen.bin(t, 1.0)) {
+      total += static_cast<double>(s.bytes);
+      if (s.key.proto == net::IpProto::kTcp) tcp += static_cast<double>(s.bytes);
+    }
+  }
+  // Paper §2.3: TCP is 86.81% of non-blackholed traffic.
+  EXPECT_NEAR(tcp / total, 0.8681, 0.03);
+}
+
+}  // namespace
+}  // namespace stellar::traffic

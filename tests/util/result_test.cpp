@@ -1,0 +1,64 @@
+#include "util/result.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stellar::util {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(MakeError("code", "message"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "code");
+  EXPECT_EQ(r.error().message, "message");
+}
+
+TEST(ResultTest, ValueOnErrorThrows) {
+  Result<int> r(MakeError("x", "boom"));
+  EXPECT_THROW((void)r.value(), std::logic_error);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> ok(7);
+  Result<int> bad(MakeError("x", "y"));
+  EXPECT_EQ(ok.value_or(0), 7);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValueSupported) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(ResultTest, ArrowOperatorReachesValue) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, VoidResultDefaultsToOk) {
+  Result<void> r;
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(ResultTest, VoidResultCarriesError) {
+  Result<void> r(MakeError("e", "failed"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "e");
+}
+
+TEST(ResultTest, ErrorEquality) {
+  EXPECT_EQ(MakeError("a", "b"), MakeError("a", "b"));
+  EXPECT_NE(MakeError("a", "b"), MakeError("a", "c"));
+}
+
+}  // namespace
+}  // namespace stellar::util

@@ -1,0 +1,102 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace stellar::util {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1'000'000), b.uniform_int(0, 1'000'000));
+  }
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformRealInHalfOpenInterval) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, ChanceMatchesProbability) {
+  Rng rng(3);
+  int hits = 0;
+  constexpr int kTrials = 20'000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialMeanIsInverseRate) {
+  Rng rng(4);
+  std::vector<double> xs;
+  for (int i = 0; i < 20'000; ++i) xs.push_back(rng.exponential(4.0));
+  EXPECT_NEAR(Mean(xs), 0.25, 0.01);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 20'000; ++i) xs.push_back(static_cast<double>(rng.poisson(7.0)));
+  EXPECT_NEAR(Mean(xs), 7.0, 0.1);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(RngTest, ParetoIsAtLeastScale) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(7);
+  const std::vector<double> weights{0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20'000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.2);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(9);
+  Rng child = a.fork();
+  // The fork must not replay the parent's stream.
+  Rng b(9);
+  (void)b.engine()();  // Parent consumed one draw for the fork.
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i) {
+    if (child.uniform_int(0, 1'000'000) != b.uniform_int(0, 1'000'000)) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(10);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+}  // namespace
+}  // namespace stellar::util

@@ -1,0 +1,176 @@
+// stellar_sim — command-line attack/mitigation simulator.
+//
+// Runs a booter-style amplification attack against a member of a synthetic
+// L-IXP and applies the selected mitigation, printing the delivered-traffic
+// time series and a summary. The CLI twin of the figure benches, for ad-hoc
+// what-if runs.
+//
+//   stellar_sim [--members N] [--honor F] [--attack-mbps X] [--web-mbps X]
+//               [--port-mbps X] [--duration S] [--trigger S] [--bin S]
+//               [--technique none|rtbh|stellar-drop|stellar-shape]
+//               [--shape-mbps X] [--seed N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+
+#include "core/stellar.hpp"
+#include "mitigation/rtbh.hpp"
+#include "net/ports.hpp"
+#include "traffic/generators.hpp"
+
+using namespace stellar;
+
+namespace {
+
+struct Options {
+  int members = 200;
+  double honor_fraction = 0.30;
+  double attack_mbps = 1'000.0;
+  double web_mbps = 100.0;
+  double port_mbps = 10'000.0;
+  double duration_s = 600.0;
+  double trigger_s = 200.0;
+  double bin_s = 20.0;
+  double shape_mbps = 200.0;
+  std::uint64_t seed = 1;
+  std::string technique = "stellar-drop";
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--members N] [--honor F] [--attack-mbps X] [--web-mbps X]\n"
+               "          [--port-mbps X] [--duration S] [--trigger S] [--bin S]\n"
+               "          [--technique none|rtbh|stellar-drop|stellar-shape]\n"
+               "          [--shape-mbps X] [--seed N]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options ParseArgs(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        Usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    const char* arg = argv[i];
+    if (!std::strcmp(arg, "--members")) opts.members = std::atoi(need_value(arg));
+    else if (!std::strcmp(arg, "--honor")) opts.honor_fraction = std::atof(need_value(arg));
+    else if (!std::strcmp(arg, "--attack-mbps")) opts.attack_mbps = std::atof(need_value(arg));
+    else if (!std::strcmp(arg, "--web-mbps")) opts.web_mbps = std::atof(need_value(arg));
+    else if (!std::strcmp(arg, "--port-mbps")) opts.port_mbps = std::atof(need_value(arg));
+    else if (!std::strcmp(arg, "--duration")) opts.duration_s = std::atof(need_value(arg));
+    else if (!std::strcmp(arg, "--trigger")) opts.trigger_s = std::atof(need_value(arg));
+    else if (!std::strcmp(arg, "--bin")) opts.bin_s = std::atof(need_value(arg));
+    else if (!std::strcmp(arg, "--shape-mbps")) opts.shape_mbps = std::atof(need_value(arg));
+    else if (!std::strcmp(arg, "--seed"))
+      opts.seed = static_cast<std::uint64_t>(std::atoll(need_value(arg)));
+    else if (!std::strcmp(arg, "--technique")) opts.technique = need_value(arg);
+    else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) Usage(argv[0]);
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", arg);
+      Usage(argv[0]);
+    }
+  }
+  if (opts.technique != "none" && opts.technique != "rtbh" &&
+      opts.technique != "stellar-drop" && opts.technique != "stellar-shape") {
+    std::fprintf(stderr, "unknown technique '%s'\n", opts.technique.c_str());
+    Usage(argv[0]);
+  }
+  if (opts.members < 2 || opts.bin_s <= 0.0 || opts.duration_s <= 0.0) Usage(argv[0]);
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = ParseArgs(argc, argv);
+  constexpr bgp::Asn kVictimAsn = 63'000;
+
+  sim::EventQueue queue;
+  ixp::LargeIxpParams params;
+  params.member_count = opts.members;
+  params.rtbh_honor_fraction = opts.honor_fraction;
+  params.seed = opts.seed;
+  auto ixp = ixp::MakeLargeIxp(queue, params);
+  ixp::MemberSpec victim_spec;
+  victim_spec.asn = kVictimAsn;
+  victim_spec.name = "victim";
+  victim_spec.port_capacity_mbps = opts.port_mbps;
+  victim_spec.address_space = net::Prefix4::Parse("100.10.10.0/24").value();
+  auto& victim = ixp->add_member(victim_spec);
+  const bool use_stellar = opts.technique.rfind("stellar", 0) == 0;
+  std::unique_ptr<core::StellarSystem> stellar;
+  if (use_stellar) stellar = std::make_unique<core::StellarSystem>(*ixp);
+  ixp->settle(60.0);
+
+  const net::IPv4Address target(100, 10, 10, 10);
+  auto sources = ixp->source_members(kVictimAsn);
+  auto attack_config =
+      traffic::BooterNtpAttack(target, opts.attack_mbps, 60.0, opts.duration_s);
+  traffic::AmplificationAttackGenerator attack(attack_config, sources, opts.seed + 1);
+  traffic::WebTrafficGenerator::Config web_config;
+  web_config.target = target;
+  web_config.rate_mbps = opts.web_mbps;
+  traffic::WebTrafficGenerator web(web_config, sources, opts.seed + 2);
+
+  std::printf("# %d members, honor=%.0f%%, attack %.0f Mbps, technique=%s\n", opts.members,
+              opts.honor_fraction * 100.0, opts.attack_mbps, opts.technique.c_str());
+  std::printf("%8s %14s %14s %8s\n", "t[s]", "attack[Mbps]", "benign[Mbps]", "peers");
+
+  bool triggered = false;
+  const double base = queue.now().count();
+  for (double t = 0.0; t < opts.duration_s; t += opts.bin_s) {
+    queue.run_until(sim::Seconds(base + t));
+    if (!triggered && t >= opts.trigger_s) {
+      triggered = true;
+      if (opts.technique == "rtbh") {
+        mitigation::TriggerRtbh(victim, net::Prefix4::HostRoute(target));
+      } else if (use_stellar) {
+        core::Signal signal;
+        signal.rules.push_back({core::RuleKind::kUdpSrcPort, net::kPortNtp});
+        if (opts.technique == "stellar-shape") signal.shape_rate_mbps = opts.shape_mbps;
+        core::SignalAdvancedBlackholing(victim, ixp->route_server(),
+                                        net::Prefix4::HostRoute(target), signal);
+      }
+      queue.run_until(sim::Seconds(base + t + 2.0));
+    }
+    std::vector<net::FlowSample> offered = web.bin(t, opts.bin_s);
+    for (auto& s : attack.bin(t, opts.bin_s)) offered.push_back(s);
+    const auto report = ixp->deliver_bin(offered, opts.bin_s);
+    double attack_delivered = 0.0;
+    double benign_delivered = 0.0;
+    std::set<net::MacAddress> peers;
+    for (const auto& f : report.delivered) {
+      peers.insert(f.key.src_mac);
+      if (f.key.proto == net::IpProto::kUdp && f.key.src_port == net::kPortNtp) {
+        attack_delivered += f.mbps(opts.bin_s);
+      } else {
+        benign_delivered += f.mbps(opts.bin_s);
+      }
+    }
+    std::printf("%8.0f %14.0f %14.0f %8zu%s\n", t, attack_delivered, benign_delivered,
+                peers.size(), triggered && t - opts.trigger_s < opts.bin_s ? "   <- trigger" : "");
+  }
+
+  if (opts.technique == "rtbh") {
+    const auto compliance = mitigation::MeasureCompliance(
+        *ixp, net::Prefix4::HostRoute(target), kVictimAsn);
+    std::printf("# RTBH honored by %zu/%zu members (%.0f%%)\n", compliance.honoring,
+                compliance.total, compliance.honored_fraction() * 100.0);
+  }
+  if (stellar) {
+    for (const auto& record : stellar->telemetry(kVictimAsn)) {
+      std::printf("# telemetry %s matched=%.0fMB dropped=%.0fMB passed=%.0fMB\n",
+                  record.rule.str().c_str(),
+                  static_cast<double>(record.counters.matched_bytes) / 1e6,
+                  static_cast<double>(record.counters.dropped_bytes) / 1e6,
+                  static_cast<double>(record.counters.delivered_bytes) / 1e6);
+    }
+  }
+  return 0;
+}
