@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_addpath"
+  "../bench/ablation_addpath.pdb"
+  "CMakeFiles/ablation_addpath.dir/ablation_addpath.cc.o"
+  "CMakeFiles/ablation_addpath.dir/ablation_addpath.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_addpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_egress_vs_ingress"
+  "../bench/ablation_egress_vs_ingress.pdb"
+  "CMakeFiles/ablation_egress_vs_ingress.dir/ablation_egress_vs_ingress.cc.o"
+  "CMakeFiles/ablation_egress_vs_ingress.dir/ablation_egress_vs_ingress.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_egress_vs_ingress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

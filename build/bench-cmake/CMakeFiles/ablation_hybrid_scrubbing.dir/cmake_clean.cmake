@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hybrid_scrubbing"
+  "../bench/ablation_hybrid_scrubbing.pdb"
+  "CMakeFiles/ablation_hybrid_scrubbing.dir/ablation_hybrid_scrubbing.cc.o"
+  "CMakeFiles/ablation_hybrid_scrubbing.dir/ablation_hybrid_scrubbing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hybrid_scrubbing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_overprovisioning"
+  "../bench/ablation_overprovisioning.pdb"
+  "CMakeFiles/ablation_overprovisioning.dir/ablation_overprovisioning.cc.o"
+  "CMakeFiles/ablation_overprovisioning.dir/ablation_overprovisioning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overprovisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

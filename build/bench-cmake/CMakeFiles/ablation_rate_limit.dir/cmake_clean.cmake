@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_rate_limit"
+  "../bench/ablation_rate_limit.pdb"
+  "CMakeFiles/ablation_rate_limit.dir/ablation_rate_limit.cc.o"
+  "CMakeFiles/ablation_rate_limit.dir/ablation_rate_limit.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rate_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

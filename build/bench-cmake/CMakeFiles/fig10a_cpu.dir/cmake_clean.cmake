@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10a_cpu"
+  "../bench/fig10a_cpu.pdb"
+  "CMakeFiles/fig10a_cpu.dir/fig10a_cpu.cc.o"
+  "CMakeFiles/fig10a_cpu.dir/fig10a_cpu.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10a_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

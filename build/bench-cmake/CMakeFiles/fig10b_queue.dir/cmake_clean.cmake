@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10b_queue"
+  "../bench/fig10b_queue.pdb"
+  "CMakeFiles/fig10b_queue.dir/fig10b_queue.cc.o"
+  "CMakeFiles/fig10b_queue.dir/fig10b_queue.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10c_stellar_attack"
+  "../bench/fig10c_stellar_attack.pdb"
+  "CMakeFiles/fig10c_stellar_attack.dir/fig10c_stellar_attack.cc.o"
+  "CMakeFiles/fig10c_stellar_attack.dir/fig10c_stellar_attack.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10c_stellar_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2c_collateral"
+  "../bench/fig2c_collateral.pdb"
+  "CMakeFiles/fig2c_collateral.dir/fig2c_collateral.cc.o"
+  "CMakeFiles/fig2c_collateral.dir/fig2c_collateral.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2c_collateral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

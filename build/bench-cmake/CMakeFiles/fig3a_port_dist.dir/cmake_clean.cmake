@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3a_port_dist"
+  "../bench/fig3a_port_dist.pdb"
+  "CMakeFiles/fig3a_port_dist.dir/fig3a_port_dist.cc.o"
+  "CMakeFiles/fig3a_port_dist.dir/fig3a_port_dist.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_port_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3b_policy_usage.cc" "bench-cmake/CMakeFiles/fig3b_policy_usage.dir/fig3b_policy_usage.cc.o" "gcc" "bench-cmake/CMakeFiles/fig3b_policy_usage.dir/fig3b_policy_usage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mitigation/CMakeFiles/stellar_mitigation.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stellar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ixp/CMakeFiles/stellar_ixp.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/stellar_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/stellar_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/stellar_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stellar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/stellar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stellar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

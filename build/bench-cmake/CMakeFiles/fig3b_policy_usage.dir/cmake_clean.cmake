@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3b_policy_usage"
+  "../bench/fig3b_policy_usage.pdb"
+  "CMakeFiles/fig3b_policy_usage.dir/fig3b_policy_usage.cc.o"
+  "CMakeFiles/fig3b_policy_usage.dir/fig3b_policy_usage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_policy_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

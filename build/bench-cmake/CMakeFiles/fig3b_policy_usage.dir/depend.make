@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3b_policy_usage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3c_rtbh_attack"
+  "../bench/fig3c_rtbh_attack.pdb"
+  "CMakeFiles/fig3c_rtbh_attack.dir/fig3c_rtbh_attack.cc.o"
+  "CMakeFiles/fig3c_rtbh_attack.dir/fig3c_rtbh_attack.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_rtbh_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

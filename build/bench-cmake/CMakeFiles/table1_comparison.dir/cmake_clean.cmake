@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_comparison"
+  "../bench/table1_comparison.pdb"
+  "CMakeFiles/table1_comparison.dir/table1_comparison.cc.o"
+  "CMakeFiles/table1_comparison.dir/table1_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_deployment.dir/isp_deployment.cpp.o"
+  "CMakeFiles/isp_deployment.dir/isp_deployment.cpp.o.d"
+  "isp_deployment"
+  "isp_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcached_multitenant.dir/memcached_multitenant.cpp.o"
+  "CMakeFiles/memcached_multitenant.dir/memcached_multitenant.cpp.o.d"
+  "memcached_multitenant"
+  "memcached_multitenant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcached_multitenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtbh_vs_stellar.dir/rtbh_vs_stellar.cpp.o"
+  "CMakeFiles/rtbh_vs_stellar.dir/rtbh_vs_stellar.cpp.o.d"
+  "rtbh_vs_stellar"
+  "rtbh_vs_stellar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtbh_vs_stellar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

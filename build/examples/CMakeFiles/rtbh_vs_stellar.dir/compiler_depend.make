@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rtbh_vs_stellar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdx_option.dir/sdx_option.cpp.o"
+  "CMakeFiles/sdx_option.dir/sdx_option.cpp.o.d"
+  "sdx_option"
+  "sdx_option.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdx_option.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sdx_option.
+# This may be replaced when dependencies are built.

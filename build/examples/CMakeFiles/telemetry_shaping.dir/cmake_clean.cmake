@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_shaping.dir/telemetry_shaping.cpp.o"
+  "CMakeFiles/telemetry_shaping.dir/telemetry_shaping.cpp.o.d"
+  "telemetry_shaping"
+  "telemetry_shaping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_shaping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

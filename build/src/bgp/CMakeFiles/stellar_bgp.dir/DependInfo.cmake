@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/flowspec.cpp" "src/bgp/CMakeFiles/stellar_bgp.dir/flowspec.cpp.o" "gcc" "src/bgp/CMakeFiles/stellar_bgp.dir/flowspec.cpp.o.d"
+  "/root/repo/src/bgp/message.cpp" "src/bgp/CMakeFiles/stellar_bgp.dir/message.cpp.o" "gcc" "src/bgp/CMakeFiles/stellar_bgp.dir/message.cpp.o.d"
+  "/root/repo/src/bgp/session.cpp" "src/bgp/CMakeFiles/stellar_bgp.dir/session.cpp.o" "gcc" "src/bgp/CMakeFiles/stellar_bgp.dir/session.cpp.o.d"
+  "/root/repo/src/bgp/types.cpp" "src/bgp/CMakeFiles/stellar_bgp.dir/types.cpp.o" "gcc" "src/bgp/CMakeFiles/stellar_bgp.dir/types.cpp.o.d"
+  "/root/repo/src/bgp/wire.cpp" "src/bgp/CMakeFiles/stellar_bgp.dir/wire.cpp.o" "gcc" "src/bgp/CMakeFiles/stellar_bgp.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/stellar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stellar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stellar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_bgp.dir/flowspec.cpp.o"
+  "CMakeFiles/stellar_bgp.dir/flowspec.cpp.o.d"
+  "CMakeFiles/stellar_bgp.dir/message.cpp.o"
+  "CMakeFiles/stellar_bgp.dir/message.cpp.o.d"
+  "CMakeFiles/stellar_bgp.dir/session.cpp.o"
+  "CMakeFiles/stellar_bgp.dir/session.cpp.o.d"
+  "CMakeFiles/stellar_bgp.dir/types.cpp.o"
+  "CMakeFiles/stellar_bgp.dir/types.cpp.o.d"
+  "CMakeFiles/stellar_bgp.dir/wire.cpp.o"
+  "CMakeFiles/stellar_bgp.dir/wire.cpp.o.d"
+  "libstellar_bgp.a"
+  "libstellar_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

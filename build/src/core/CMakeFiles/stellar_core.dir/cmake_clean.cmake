@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_core.dir/controller.cpp.o"
+  "CMakeFiles/stellar_core.dir/controller.cpp.o.d"
+  "CMakeFiles/stellar_core.dir/network_manager.cpp.o"
+  "CMakeFiles/stellar_core.dir/network_manager.cpp.o.d"
+  "CMakeFiles/stellar_core.dir/portal.cpp.o"
+  "CMakeFiles/stellar_core.dir/portal.cpp.o.d"
+  "CMakeFiles/stellar_core.dir/sdn.cpp.o"
+  "CMakeFiles/stellar_core.dir/sdn.cpp.o.d"
+  "CMakeFiles/stellar_core.dir/signal.cpp.o"
+  "CMakeFiles/stellar_core.dir/signal.cpp.o.d"
+  "CMakeFiles/stellar_core.dir/stellar.cpp.o"
+  "CMakeFiles/stellar_core.dir/stellar.cpp.o.d"
+  "libstellar_core.a"
+  "libstellar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

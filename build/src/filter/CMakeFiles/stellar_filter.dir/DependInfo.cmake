@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filter/cpu.cpp" "src/filter/CMakeFiles/stellar_filter.dir/cpu.cpp.o" "gcc" "src/filter/CMakeFiles/stellar_filter.dir/cpu.cpp.o.d"
+  "/root/repo/src/filter/edge_router.cpp" "src/filter/CMakeFiles/stellar_filter.dir/edge_router.cpp.o" "gcc" "src/filter/CMakeFiles/stellar_filter.dir/edge_router.cpp.o.d"
+  "/root/repo/src/filter/qos.cpp" "src/filter/CMakeFiles/stellar_filter.dir/qos.cpp.o" "gcc" "src/filter/CMakeFiles/stellar_filter.dir/qos.cpp.o.d"
+  "/root/repo/src/filter/rule.cpp" "src/filter/CMakeFiles/stellar_filter.dir/rule.cpp.o" "gcc" "src/filter/CMakeFiles/stellar_filter.dir/rule.cpp.o.d"
+  "/root/repo/src/filter/tcam.cpp" "src/filter/CMakeFiles/stellar_filter.dir/tcam.cpp.o" "gcc" "src/filter/CMakeFiles/stellar_filter.dir/tcam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/stellar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stellar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

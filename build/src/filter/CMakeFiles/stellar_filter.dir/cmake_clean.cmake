@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_filter.dir/cpu.cpp.o"
+  "CMakeFiles/stellar_filter.dir/cpu.cpp.o.d"
+  "CMakeFiles/stellar_filter.dir/edge_router.cpp.o"
+  "CMakeFiles/stellar_filter.dir/edge_router.cpp.o.d"
+  "CMakeFiles/stellar_filter.dir/qos.cpp.o"
+  "CMakeFiles/stellar_filter.dir/qos.cpp.o.d"
+  "CMakeFiles/stellar_filter.dir/rule.cpp.o"
+  "CMakeFiles/stellar_filter.dir/rule.cpp.o.d"
+  "CMakeFiles/stellar_filter.dir/tcam.cpp.o"
+  "CMakeFiles/stellar_filter.dir/tcam.cpp.o.d"
+  "libstellar_filter.a"
+  "libstellar_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

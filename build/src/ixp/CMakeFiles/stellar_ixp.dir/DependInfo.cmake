@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ixp/fabric.cpp" "src/ixp/CMakeFiles/stellar_ixp.dir/fabric.cpp.o" "gcc" "src/ixp/CMakeFiles/stellar_ixp.dir/fabric.cpp.o.d"
+  "/root/repo/src/ixp/irr.cpp" "src/ixp/CMakeFiles/stellar_ixp.dir/irr.cpp.o" "gcc" "src/ixp/CMakeFiles/stellar_ixp.dir/irr.cpp.o.d"
+  "/root/repo/src/ixp/ixp.cpp" "src/ixp/CMakeFiles/stellar_ixp.dir/ixp.cpp.o" "gcc" "src/ixp/CMakeFiles/stellar_ixp.dir/ixp.cpp.o.d"
+  "/root/repo/src/ixp/looking_glass.cpp" "src/ixp/CMakeFiles/stellar_ixp.dir/looking_glass.cpp.o" "gcc" "src/ixp/CMakeFiles/stellar_ixp.dir/looking_glass.cpp.o.d"
+  "/root/repo/src/ixp/member.cpp" "src/ixp/CMakeFiles/stellar_ixp.dir/member.cpp.o" "gcc" "src/ixp/CMakeFiles/stellar_ixp.dir/member.cpp.o.d"
+  "/root/repo/src/ixp/route_server.cpp" "src/ixp/CMakeFiles/stellar_ixp.dir/route_server.cpp.o" "gcc" "src/ixp/CMakeFiles/stellar_ixp.dir/route_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/stellar_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/stellar_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/stellar_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stellar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/stellar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stellar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

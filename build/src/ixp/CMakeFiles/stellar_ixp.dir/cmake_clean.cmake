@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_ixp.dir/fabric.cpp.o"
+  "CMakeFiles/stellar_ixp.dir/fabric.cpp.o.d"
+  "CMakeFiles/stellar_ixp.dir/irr.cpp.o"
+  "CMakeFiles/stellar_ixp.dir/irr.cpp.o.d"
+  "CMakeFiles/stellar_ixp.dir/ixp.cpp.o"
+  "CMakeFiles/stellar_ixp.dir/ixp.cpp.o.d"
+  "CMakeFiles/stellar_ixp.dir/looking_glass.cpp.o"
+  "CMakeFiles/stellar_ixp.dir/looking_glass.cpp.o.d"
+  "CMakeFiles/stellar_ixp.dir/member.cpp.o"
+  "CMakeFiles/stellar_ixp.dir/member.cpp.o.d"
+  "CMakeFiles/stellar_ixp.dir/route_server.cpp.o"
+  "CMakeFiles/stellar_ixp.dir/route_server.cpp.o.d"
+  "libstellar_ixp.a"
+  "libstellar_ixp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_ixp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

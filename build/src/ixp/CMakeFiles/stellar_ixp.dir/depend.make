@@ -1,0 +1,2 @@
+# Empty dependencies file for stellar_ixp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_mitigation.dir/acl.cpp.o"
+  "CMakeFiles/stellar_mitigation.dir/acl.cpp.o.d"
+  "CMakeFiles/stellar_mitigation.dir/comparison.cpp.o"
+  "CMakeFiles/stellar_mitigation.dir/comparison.cpp.o.d"
+  "CMakeFiles/stellar_mitigation.dir/flowspec_deploy.cpp.o"
+  "CMakeFiles/stellar_mitigation.dir/flowspec_deploy.cpp.o.d"
+  "CMakeFiles/stellar_mitigation.dir/rtbh.cpp.o"
+  "CMakeFiles/stellar_mitigation.dir/rtbh.cpp.o.d"
+  "CMakeFiles/stellar_mitigation.dir/scrubbing.cpp.o"
+  "CMakeFiles/stellar_mitigation.dir/scrubbing.cpp.o.d"
+  "libstellar_mitigation.a"
+  "libstellar_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

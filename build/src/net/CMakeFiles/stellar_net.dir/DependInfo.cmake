@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/aggregate.cpp" "src/net/CMakeFiles/stellar_net.dir/aggregate.cpp.o" "gcc" "src/net/CMakeFiles/stellar_net.dir/aggregate.cpp.o.d"
+  "/root/repo/src/net/flow.cpp" "src/net/CMakeFiles/stellar_net.dir/flow.cpp.o" "gcc" "src/net/CMakeFiles/stellar_net.dir/flow.cpp.o.d"
+  "/root/repo/src/net/ip.cpp" "src/net/CMakeFiles/stellar_net.dir/ip.cpp.o" "gcc" "src/net/CMakeFiles/stellar_net.dir/ip.cpp.o.d"
+  "/root/repo/src/net/mac.cpp" "src/net/CMakeFiles/stellar_net.dir/mac.cpp.o" "gcc" "src/net/CMakeFiles/stellar_net.dir/mac.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/stellar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_net.dir/aggregate.cpp.o"
+  "CMakeFiles/stellar_net.dir/aggregate.cpp.o.d"
+  "CMakeFiles/stellar_net.dir/flow.cpp.o"
+  "CMakeFiles/stellar_net.dir/flow.cpp.o.d"
+  "CMakeFiles/stellar_net.dir/ip.cpp.o"
+  "CMakeFiles/stellar_net.dir/ip.cpp.o.d"
+  "CMakeFiles/stellar_net.dir/mac.cpp.o"
+  "CMakeFiles/stellar_net.dir/mac.cpp.o.d"
+  "libstellar_net.a"
+  "libstellar_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

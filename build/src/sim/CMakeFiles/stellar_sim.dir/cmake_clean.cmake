@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/stellar_sim.dir/event_queue.cpp.o.d"
+  "libstellar_sim.a"
+  "libstellar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/collector.cpp" "src/traffic/CMakeFiles/stellar_traffic.dir/collector.cpp.o" "gcc" "src/traffic/CMakeFiles/stellar_traffic.dir/collector.cpp.o.d"
+  "/root/repo/src/traffic/generators.cpp" "src/traffic/CMakeFiles/stellar_traffic.dir/generators.cpp.o" "gcc" "src/traffic/CMakeFiles/stellar_traffic.dir/generators.cpp.o.d"
+  "/root/repo/src/traffic/trace_io.cpp" "src/traffic/CMakeFiles/stellar_traffic.dir/trace_io.cpp.o" "gcc" "src/traffic/CMakeFiles/stellar_traffic.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/stellar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stellar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

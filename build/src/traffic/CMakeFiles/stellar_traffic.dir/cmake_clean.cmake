@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_traffic.dir/collector.cpp.o"
+  "CMakeFiles/stellar_traffic.dir/collector.cpp.o.d"
+  "CMakeFiles/stellar_traffic.dir/generators.cpp.o"
+  "CMakeFiles/stellar_traffic.dir/generators.cpp.o.d"
+  "CMakeFiles/stellar_traffic.dir/trace_io.cpp.o"
+  "CMakeFiles/stellar_traffic.dir/trace_io.cpp.o.d"
+  "libstellar_traffic.a"
+  "libstellar_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

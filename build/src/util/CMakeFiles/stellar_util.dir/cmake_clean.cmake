@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_util.dir/ascii.cpp.o"
+  "CMakeFiles/stellar_util.dir/ascii.cpp.o.d"
+  "CMakeFiles/stellar_util.dir/stats.cpp.o"
+  "CMakeFiles/stellar_util.dir/stats.cpp.o.d"
+  "libstellar_util.a"
+  "libstellar_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_tests.dir/bgp/flowspec_test.cpp.o"
+  "CMakeFiles/bgp_tests.dir/bgp/flowspec_test.cpp.o.d"
+  "CMakeFiles/bgp_tests.dir/bgp/message_test.cpp.o"
+  "CMakeFiles/bgp_tests.dir/bgp/message_test.cpp.o.d"
+  "CMakeFiles/bgp_tests.dir/bgp/rib_test.cpp.o"
+  "CMakeFiles/bgp_tests.dir/bgp/rib_test.cpp.o.d"
+  "CMakeFiles/bgp_tests.dir/bgp/session_test.cpp.o"
+  "CMakeFiles/bgp_tests.dir/bgp/session_test.cpp.o.d"
+  "CMakeFiles/bgp_tests.dir/bgp/wire_test.cpp.o"
+  "CMakeFiles/bgp_tests.dir/bgp/wire_test.cpp.o.d"
+  "bgp_tests"
+  "bgp_tests.pdb"
+  "bgp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

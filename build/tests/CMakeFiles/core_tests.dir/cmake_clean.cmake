@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/controller_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/controller_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/network_manager_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/network_manager_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/portal_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/portal_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/sdn_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/sdn_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/signal_large_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/signal_large_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/signal_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/signal_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/stellar_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/stellar_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

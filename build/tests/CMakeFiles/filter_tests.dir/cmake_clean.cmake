@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_tests.dir/filter/cpu_test.cpp.o"
+  "CMakeFiles/filter_tests.dir/filter/cpu_test.cpp.o.d"
+  "CMakeFiles/filter_tests.dir/filter/edge_router_test.cpp.o"
+  "CMakeFiles/filter_tests.dir/filter/edge_router_test.cpp.o.d"
+  "CMakeFiles/filter_tests.dir/filter/qos_test.cpp.o"
+  "CMakeFiles/filter_tests.dir/filter/qos_test.cpp.o.d"
+  "CMakeFiles/filter_tests.dir/filter/rule_test.cpp.o"
+  "CMakeFiles/filter_tests.dir/filter/rule_test.cpp.o.d"
+  "CMakeFiles/filter_tests.dir/filter/tcam_test.cpp.o"
+  "CMakeFiles/filter_tests.dir/filter/tcam_test.cpp.o.d"
+  "CMakeFiles/filter_tests.dir/filter/token_bucket_test.cpp.o"
+  "CMakeFiles/filter_tests.dir/filter/token_bucket_test.cpp.o.d"
+  "filter_tests"
+  "filter_tests.pdb"
+  "filter_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

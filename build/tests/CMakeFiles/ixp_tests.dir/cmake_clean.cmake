@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixp_tests.dir/ixp/fabric_test.cpp.o"
+  "CMakeFiles/ixp_tests.dir/ixp/fabric_test.cpp.o.d"
+  "CMakeFiles/ixp_tests.dir/ixp/ipv6_test.cpp.o"
+  "CMakeFiles/ixp_tests.dir/ixp/ipv6_test.cpp.o.d"
+  "CMakeFiles/ixp_tests.dir/ixp/irr_test.cpp.o"
+  "CMakeFiles/ixp_tests.dir/ixp/irr_test.cpp.o.d"
+  "CMakeFiles/ixp_tests.dir/ixp/ixp_test.cpp.o"
+  "CMakeFiles/ixp_tests.dir/ixp/ixp_test.cpp.o.d"
+  "CMakeFiles/ixp_tests.dir/ixp/member_test.cpp.o"
+  "CMakeFiles/ixp_tests.dir/ixp/member_test.cpp.o.d"
+  "CMakeFiles/ixp_tests.dir/ixp/route_refresh_test.cpp.o"
+  "CMakeFiles/ixp_tests.dir/ixp/route_refresh_test.cpp.o.d"
+  "CMakeFiles/ixp_tests.dir/ixp/route_server_test.cpp.o"
+  "CMakeFiles/ixp_tests.dir/ixp/route_server_test.cpp.o.d"
+  "ixp_tests"
+  "ixp_tests.pdb"
+  "ixp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitigation_tests.dir/mitigation/acl_test.cpp.o"
+  "CMakeFiles/mitigation_tests.dir/mitigation/acl_test.cpp.o.d"
+  "CMakeFiles/mitigation_tests.dir/mitigation/comparison_test.cpp.o"
+  "CMakeFiles/mitigation_tests.dir/mitigation/comparison_test.cpp.o.d"
+  "CMakeFiles/mitigation_tests.dir/mitigation/flowspec_deploy_test.cpp.o"
+  "CMakeFiles/mitigation_tests.dir/mitigation/flowspec_deploy_test.cpp.o.d"
+  "CMakeFiles/mitigation_tests.dir/mitigation/rtbh_test.cpp.o"
+  "CMakeFiles/mitigation_tests.dir/mitigation/rtbh_test.cpp.o.d"
+  "CMakeFiles/mitigation_tests.dir/mitigation/scrubbing_test.cpp.o"
+  "CMakeFiles/mitigation_tests.dir/mitigation/scrubbing_test.cpp.o.d"
+  "mitigation_tests"
+  "mitigation_tests.pdb"
+  "mitigation_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigation_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

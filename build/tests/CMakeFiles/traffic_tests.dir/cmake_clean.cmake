@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_tests.dir/traffic/collector_test.cpp.o"
+  "CMakeFiles/traffic_tests.dir/traffic/collector_test.cpp.o.d"
+  "CMakeFiles/traffic_tests.dir/traffic/generators_test.cpp.o"
+  "CMakeFiles/traffic_tests.dir/traffic/generators_test.cpp.o.d"
+  "CMakeFiles/traffic_tests.dir/traffic/trace_io_test.cpp.o"
+  "CMakeFiles/traffic_tests.dir/traffic/trace_io_test.cpp.o.d"
+  "traffic_tests"
+  "traffic_tests.pdb"
+  "traffic_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

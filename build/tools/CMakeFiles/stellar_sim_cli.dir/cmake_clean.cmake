@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_sim_cli.dir/stellar_sim.cpp.o"
+  "CMakeFiles/stellar_sim_cli.dir/stellar_sim.cpp.o.d"
+  "stellar_sim"
+  "stellar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

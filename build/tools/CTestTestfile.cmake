@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(stellar_sim_smoke "/root/repo/build/tools/stellar_sim" "--members" "10" "--duration" "150" "--trigger" "60" "--bin" "30" "--technique" "stellar-drop" "--attack-mbps" "300")
+set_tests_properties(stellar_sim_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
