@@ -126,24 +126,63 @@ void BM_RibSnapshotDiff(benchmark::State& state) {
 }
 BENCHMARK(BM_RibSnapshotDiff)->Arg(1'000)->Arg(10'000);
 
-void BM_QosClassify(benchmark::State& state) {
+// Rule-count sweep shared by the linear/indexed classify benchmarks: rules
+// bucketed by proto + single src port (the dominant Stellar rule shape), the
+// probe flow matching nothing — worst case for the linear scan.
+filter::QosPolicy MakeSweepPolicy(std::int64_t rules) {
   filter::QosPolicy policy;
-  for (std::uint64_t r = 0; r < static_cast<std::uint64_t>(state.range(0)); ++r) {
+  for (std::uint64_t r = 0; r < static_cast<std::uint64_t>(rules); ++r) {
     filter::FilterRule rule;
     rule.match.proto = net::IpProto::kUdp;
     rule.match.src_port = filter::PortRange::Single(static_cast<std::uint16_t>(r + 1));
     rule.action = filter::FilterAction::kDrop;
     policy.add_rule(r + 1, rule);
   }
+  return policy;
+}
+
+net::FlowKey SweepFlow() {
   net::FlowKey flow;
   flow.proto = net::IpProto::kUdp;
-  flow.src_port = 65'000;  // Worst case: matches nothing.
+  flow.src_port = 65'000;  // Matches nothing.
+  return flow;
+}
+
+void BM_QosClassify(benchmark::State& state) {
+  const filter::QosPolicy policy = MakeSweepPolicy(state.range(0));
+  const net::FlowKey flow = SweepFlow();
   for (auto _ : state) {
     benchmark::DoNotOptimize(policy.classify(flow));
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_QosClassify)->Arg(8)->Arg(64);
+BENCHMARK(BM_QosClassify)->Arg(8)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_QosClassifyLinear(benchmark::State& state) {
+  const filter::QosPolicy policy = MakeSweepPolicy(state.range(0));
+  const net::FlowKey flow = SweepFlow();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.classify_linear(flow));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QosClassifyLinear)->Arg(8)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_QosClassifyBatch(benchmark::State& state) {
+  const filter::QosPolicy policy = MakeSweepPolicy(state.range(0));
+  util::Rng rng(7);
+  std::vector<net::FlowKey> flows(1024, SweepFlow());
+  for (auto& f : flows) {
+    // Half the batch hits a rule, half misses: a realistic attack-time mix.
+    f.src_port = static_cast<std::uint16_t>(
+        rng.chance(0.5) ? rng.uniform_int(1, state.range(0)) : 65'000);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.classify_batch(flows));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(flows.size()));
+}
+BENCHMARK(BM_QosClassifyBatch)->Arg(64)->Arg(256);
 
 void BM_TcamAllocateRelease(benchmark::State& state) {
   filter::Tcam tcam({.l3l4_criteria_pool = 1'000'000, .mac_filter_pool = 1'000'000});

@@ -49,7 +49,7 @@ bool EdgeRouter::remove_rule(PortId port, RuleId id) {
   if (!it->second.policy.remove_rule(id)) return false;
   const auto res = rule_resources_.find(id);
   if (res != rule_resources_.end()) {
-    tcam_.release(port, res->second);
+    if (!tcam_.release(port, res->second)) ++tcam_release_errors_;
     rule_resources_.erase(res);
   }
   ++config_ops_;

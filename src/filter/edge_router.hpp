@@ -54,6 +54,11 @@ class EdgeRouter {
   /// quantity the CPU model prices.
   [[nodiscard]] std::uint64_t config_ops() const { return config_ops_; }
 
+  /// TCAM releases that found less reserved than they tried to return
+  /// (double-release / accounting drift). Should stay zero; monitored so
+  /// resource-model corruption is visible instead of silently clamped.
+  [[nodiscard]] std::uint64_t tcam_release_errors() const { return tcam_release_errors_; }
+
  private:
   struct Port {
     double capacity_mbps = 0.0;
@@ -68,6 +73,7 @@ class EdgeRouter {
   std::unordered_map<RuleId, RuleCounters> counters_;
   RuleId next_rule_id_ = 1;
   std::uint64_t config_ops_ = 0;
+  std::uint64_t tcam_release_errors_ = 0;
 };
 
 }  // namespace stellar::filter

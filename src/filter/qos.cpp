@@ -5,8 +5,23 @@
 
 namespace stellar::filter {
 
+namespace {
+
+/// Bucket key: selectivity tag in the top byte, exact criterion value in the
+/// low bits. Values are at most 48 bits (MAC), so the tag never collides.
+constexpr std::uint64_t BucketKey(Selectivity s, std::uint64_t value) {
+  return (std::uint64_t{static_cast<std::uint8_t>(s)} + 1) << 56 | value;
+}
+
+constexpr std::uint64_t ProtoPortKey(net::IpProto proto, std::uint16_t port) {
+  return (std::uint64_t{static_cast<std::uint8_t>(proto)} << 16) | port;
+}
+
+}  // namespace
+
 void QosPolicy::add_rule(RuleId id, FilterRule rule) {
   rules_.push_back(InstalledRule{id, std::move(rule)});
+  index_rule(rules_.size() - 1);
 }
 
 bool QosPolicy::remove_rule(RuleId id) {
@@ -14,14 +29,70 @@ bool QosPolicy::remove_rule(RuleId id) {
                                [id](const InstalledRule& r) { return r.id == id; });
   if (it == rules_.end()) return false;
   rules_.erase(it);
+  rebuild_index();
   return true;
 }
 
+void QosPolicy::index_rule(std::size_t pos) {
+  const MatchCriteria& match = rules_[pos].rule.match;
+  const Selectivity s = match.selectivity();
+  auto& bucket = s == Selectivity::kGeneric
+                     ? fallback_
+                     : buckets_[BucketKey(s, match.selectivity_key())];
+  // add_rule appends at the largest position, so buckets stay ascending.
+  bucket.push_back(static_cast<std::uint32_t>(pos));
+}
+
+void QosPolicy::rebuild_index() {
+  buckets_.clear();
+  fallback_.clear();
+  for (std::size_t pos = 0; pos < rules_.size(); ++pos) index_rule(pos);
+}
+
+std::size_t QosPolicy::classify_pos(const net::FlowKey& flow) const {
+  std::size_t best = kNoMatch;
+  // Buckets hold ascending positions, so each probe can stop at the first
+  // full match (nothing later in the bucket can beat it) or as soon as the
+  // position can no longer improve on the best from earlier probes.
+  const auto scan = [&](const std::vector<std::uint32_t>& positions) {
+    for (const std::uint32_t pos : positions) {
+      if (pos >= best) break;
+      if (rules_[pos].rule.match.matches(flow)) {
+        best = pos;
+        break;
+      }
+    }
+  };
+  const auto probe = [&](std::uint64_t key) {
+    const auto it = buckets_.find(key);
+    if (it != buckets_.end()) scan(it->second);
+  };
+  probe(BucketKey(Selectivity::kDstHost, flow.dst_ip.value()));
+  probe(BucketKey(Selectivity::kProtoDstPort, ProtoPortKey(flow.proto, flow.dst_port)));
+  probe(BucketKey(Selectivity::kProtoSrcPort, ProtoPortKey(flow.proto, flow.src_port)));
+  probe(BucketKey(Selectivity::kSrcMac, flow.src_mac.as_u64()));
+  scan(fallback_);
+  return best;
+}
+
 const InstalledRule* QosPolicy::classify(const net::FlowKey& flow) const {
+  const std::size_t pos = classify_pos(flow);
+  return pos == kNoMatch ? nullptr : &rules_[pos];
+}
+
+const InstalledRule* QosPolicy::classify_linear(const net::FlowKey& flow) const {
   for (const auto& r : rules_) {
     if (r.rule.match.matches(flow)) return &r;
   }
   return nullptr;
+}
+
+std::vector<const InstalledRule*> QosPolicy::classify_batch(
+    std::span<const net::FlowKey> flows) const {
+  std::vector<const InstalledRule*> out;
+  out.reserve(flows.size());
+  for (const auto& flow : flows) out.push_back(classify(flow));
+  return out;
 }
 
 PortBinResult ApplyEgressQos(std::span<const net::FlowSample> demands, const QosPolicy& policy,
@@ -38,9 +109,15 @@ PortBinResult ApplyEgressQos(std::span<const net::FlowSample> demands, const Qos
   survivors.reserve(demands.size());
   std::unordered_map<RuleId, double> shaper_demand_bytes;
 
-  for (const auto& d : demands) {
+  std::vector<net::FlowKey> keys;
+  keys.reserve(demands.size());
+  for (const auto& d : demands) keys.push_back(d.key);
+  const std::vector<const InstalledRule*> classified = policy.classify_batch(keys);
+
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const auto& d = demands[i];
     result.offered_mbps += d.mbps(bin_s);
-    const InstalledRule* rule = policy.classify(d.key);
+    const InstalledRule* rule = classified[i];
     if (rule != nullptr) result.rule_counters[rule->id].matched_bytes += d.bytes;
     if (rule != nullptr && rule->rule.action == FilterAction::kDrop) {
       result.rule_dropped_mbps += d.mbps(bin_s);

@@ -43,18 +43,44 @@ struct RuleCounters {
 };
 
 /// Ordered per-port rule list; first match wins (vendor ACL semantics).
+///
+/// Lookup is sublinear in the rule count: rules are bucketed by their most
+/// selective exact criterion (dst /32 host route, proto + single L4 port,
+/// source MAC — see MatchCriteria::selectivity()) into hash tables keyed on
+/// the flow's corresponding header field, with a fallback scan list for
+/// wildcard/range-only rules. A flow probes at most four buckets plus the
+/// fallback list; the match is the candidate at the lowest rule-list
+/// position, which is exactly what the linear first-match scan returns.
 class QosPolicy {
  public:
   void add_rule(RuleId id, FilterRule rule);
   /// Returns false if the id is not installed.
   bool remove_rule(RuleId id);
-  /// First matching rule, or nullptr for default-forward.
+  /// First matching rule, or nullptr for default-forward (indexed lookup).
   [[nodiscard]] const InstalledRule* classify(const net::FlowKey& flow) const;
+  /// Reference linear first-match scan — the semantics `classify` must
+  /// reproduce bit-identically. Kept for differential tests and benchmarks.
+  [[nodiscard]] const InstalledRule* classify_linear(const net::FlowKey& flow) const;
+  /// Classifies one bin of flow keys in a single pass (pass 1 of
+  /// ApplyEgressQos); results are positionally aligned with `flows`.
+  [[nodiscard]] std::vector<const InstalledRule*> classify_batch(
+      std::span<const net::FlowKey> flows) const;
   [[nodiscard]] std::size_t rule_count() const { return rules_.size(); }
   [[nodiscard]] const std::vector<InstalledRule>& rules() const { return rules_; }
 
  private:
+  static constexpr std::size_t kNoMatch = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] std::size_t classify_pos(const net::FlowKey& flow) const;
+  void index_rule(std::size_t pos);
+  void rebuild_index();
+
   std::vector<InstalledRule> rules_;
+  /// Rule-list positions (ascending) bucketed by (selectivity tag | exact
+  /// value); see bucket_key() in qos.cpp. Wildcard/range rules go to
+  /// fallback_. Positions invalidate on removal, so remove_rule rebuilds.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets_;
+  std::vector<std::uint32_t> fallback_;
 };
 
 /// Outcome of pushing one time bin of egress demand through a port.

@@ -25,6 +25,27 @@ int PortCriteriaCost(const std::optional<PortRange>& range) {
 }
 }  // namespace
 
+Selectivity MatchCriteria::selectivity() const {
+  if (dst_prefix && dst_prefix->length() == 32) return Selectivity::kDstHost;
+  if (proto && dst_port && dst_port->is_single()) return Selectivity::kProtoDstPort;
+  if (proto && src_port && src_port->is_single()) return Selectivity::kProtoSrcPort;
+  if (src_mac) return Selectivity::kSrcMac;
+  return Selectivity::kGeneric;
+}
+
+std::uint64_t MatchCriteria::selectivity_key() const {
+  switch (selectivity()) {
+    case Selectivity::kDstHost: return dst_prefix->address().value();
+    case Selectivity::kProtoDstPort:
+      return (std::uint64_t{static_cast<std::uint8_t>(*proto)} << 16) | dst_port->lo;
+    case Selectivity::kProtoSrcPort:
+      return (std::uint64_t{static_cast<std::uint8_t>(*proto)} << 16) | src_port->lo;
+    case Selectivity::kSrcMac: return src_mac->as_u64();
+    case Selectivity::kGeneric: return 0;
+  }
+  return 0;
+}
+
 int MatchCriteria::l3l4_criteria_count() const {
   int n = 0;
   if (src_prefix) ++n;

@@ -32,6 +32,18 @@ struct PortRange {
   friend bool operator==(const PortRange&, const PortRange&) = default;
 };
 
+/// The single most selective *exact-valued* criterion a classification index
+/// can bucket a rule under (TCAM-style indexed lookup, paper §4.1.2/Fig. 9).
+/// Rules without one (wildcards, prefixes shorter than /32, port ranges) must
+/// live on the index's fallback scan list.
+enum class Selectivity : std::uint8_t {
+  kDstHost,       ///< dst_prefix is a /32 host route: bucket by dst IP.
+  kProtoDstPort,  ///< IP proto plus a single destination L4 port.
+  kProtoSrcPort,  ///< IP proto plus a single source L4 port.
+  kSrcMac,        ///< Exact source MAC (one member router).
+  kGeneric,       ///< No exact criterion: fallback scan list.
+};
+
 /// A conjunction of optional L2-L4 predicates. Unset fields are wildcards.
 struct MatchCriteria {
   std::optional<net::MacAddress> src_mac;  ///< L2: traffic from a specific member router.
@@ -42,6 +54,17 @@ struct MatchCriteria {
   std::optional<PortRange> dst_port;
 
   [[nodiscard]] bool matches(const net::FlowKey& flow) const;
+
+  /// Most selective exact criterion, in fixed priority order (host route >
+  /// proto+dst-port > proto+src-port > MAC). Every flow that can match this
+  /// rule carries the exact value in the corresponding header field, so an
+  /// index bucketed on it never misses a candidate.
+  [[nodiscard]] Selectivity selectivity() const;
+
+  /// Bucket key within selectivity() — the exact value the index hashes on.
+  /// Fits the criterion into the low bits of a 64-bit word (dst IP: 32 bits,
+  /// proto|port: 24 bits, MAC: 48 bits). Zero (unspecified) for kGeneric.
+  [[nodiscard]] std::uint64_t selectivity_key() const;
 
   /// Number of L3-L4 criteria this rule consumes in hardware (paper Fig. 9
   /// x-axis: "L3-L4 filter criteria"). Each set L3/L4 predicate costs one

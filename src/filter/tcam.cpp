@@ -1,6 +1,6 @@
 #include "filter/tcam.hpp"
 
-#include <cassert>
+#include <algorithm>
 
 namespace stellar::filter {
 
@@ -18,7 +18,10 @@ std::string_view ToString(TcamFailure f) {
 TcamFailure Tcam::allocate(PortId port, const MatchCriteria& match) {
   const std::int64_t l3l4 = match.l3l4_criteria_count();
   const std::int64_t mac = match.mac_criteria_count();
-  PortUsage& usage = per_port_[port];
+  // Look up without inserting: a rejected allocation must leave the TCAM
+  // state (including the per-port map) untouched.
+  const auto it = per_port_.find(port);
+  const PortUsage usage = it == per_port_.end() ? PortUsage{} : it->second;
 
   if (limits_.l3l4_criteria_pool > 0 && l3l4_used_ + l3l4 > limits_.l3l4_criteria_pool) {
     return TcamFailure::kL3L4PoolExhausted;
@@ -36,20 +39,34 @@ TcamFailure Tcam::allocate(PortId port, const MatchCriteria& match) {
 
   l3l4_used_ += l3l4;
   mac_used_ += mac;
-  usage.l3l4 += l3l4;
-  usage.mac += mac;
+  PortUsage& slot = it == per_port_.end() ? per_port_[port] : it->second;
+  slot.l3l4 += l3l4;
+  slot.mac += mac;
   return TcamFailure::kNone;
 }
 
-void Tcam::release(PortId port, const MatchCriteria& match) {
+bool Tcam::release(PortId port, const MatchCriteria& match) {
   const std::int64_t l3l4 = match.l3l4_criteria_count();
   const std::int64_t mac = match.mac_criteria_count();
-  PortUsage& usage = per_port_[port];
-  assert(usage.l3l4 >= l3l4 && usage.mac >= mac && l3l4_used_ >= l3l4 && mac_used_ >= mac);
-  l3l4_used_ -= l3l4;
-  mac_used_ -= mac;
-  usage.l3l4 -= l3l4;
-  usage.mac -= mac;
+  bool consistent = true;
+  // Clamp at zero instead of underflowing: a double-release must not drive
+  // the used counters negative and inflate the headroom fractions past 1.0.
+  const auto take = [&consistent](std::int64_t& used, std::int64_t want) {
+    const std::int64_t taken = std::min(used, want);
+    if (taken != want) consistent = false;
+    used -= taken;
+  };
+  const auto it = per_port_.find(port);
+  if (it == per_port_.end()) {
+    if (l3l4 > 0 || mac > 0) consistent = false;
+  } else {
+    take(it->second.l3l4, l3l4);
+    take(it->second.mac, mac);
+    if (it->second.l3l4 == 0 && it->second.mac == 0) per_port_.erase(it);
+  }
+  take(l3l4_used_, l3l4);
+  take(mac_used_, mac);
+  return consistent;
 }
 
 std::int64_t Tcam::l3l4_in_use(PortId port) const {

@@ -53,13 +53,18 @@ class Tcam {
   TcamFailure allocate(PortId port, const MatchCriteria& match);
 
   /// Releases a previous successful allocation for an identical criteria set.
-  /// Releasing more than was allocated is a caller bug (asserted).
-  void release(PortId port, const MatchCriteria& match);
+  /// Releasing more than was allocated is a caller bug (double-release); the
+  /// counters clamp at zero — never negative, in every build type — and false
+  /// is returned so the caller can surface the accounting error.
+  [[nodiscard]] bool release(PortId port, const MatchCriteria& match);
 
   [[nodiscard]] std::int64_t l3l4_in_use() const { return l3l4_used_; }
   [[nodiscard]] std::int64_t mac_in_use() const { return mac_used_; }
   [[nodiscard]] std::int64_t l3l4_in_use(PortId port) const;
   [[nodiscard]] std::int64_t mac_in_use(PortId port) const;
+  /// Ports with live reservations. Rejected allocations and full releases
+  /// must not grow this — the observable for per-port accounting leaks.
+  [[nodiscard]] std::size_t ports_tracked() const { return per_port_.size(); }
   [[nodiscard]] const TcamLimits& limits() const { return limits_; }
 
   /// Headroom fractions for monitoring (1.0 = empty, 0.0 = full).

@@ -10,11 +10,18 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace stellar::filter {
 
 class TokenBucket {
  public:
+  /// Sentinel returned by time_available() for requests that can never be
+  /// satisfied (n > burst): "infinitely far in the future". A finite answer
+  /// here would be a lie — try_consume at that time still fails — and used
+  /// to wedge callers that sleep-then-consume in a tight retry loop.
+  static constexpr double kNever = std::numeric_limits<double>::infinity();
+
   /// `rate` tokens accrue per second up to `burst` capacity. Starts full.
   TokenBucket(double rate_per_s, double burst)
       : rate_(rate_per_s), burst_(burst), tokens_(burst) {
@@ -36,11 +43,13 @@ class TokenBucket {
   }
 
   /// Earliest absolute time at which `n` tokens will be available (may be
-  /// `now_s` itself). Does not consume. Requires n <= burst.
+  /// `now_s` itself). Does not consume. A request above the burst capacity
+  /// can never succeed and returns kNever in every build type (callers must
+  /// treat a non-finite answer as "give up", not "sleep until").
   [[nodiscard]] double time_available(double n, double now_s) {
-    assert(n <= burst_ + 1e-9);
     refill(now_s);
     if (tokens_ + kEpsilon >= n) return now_s;
+    if (n > burst_ + kEpsilon) return kNever;
     return now_s + (n - tokens_) / rate_;
   }
 

@@ -78,6 +78,22 @@ TEST(EdgeRouterTest, RemoveReleasesTcam) {
   EXPECT_TRUE(er.install_rule(1, DropNtp()).ok());
 }
 
+TEST(EdgeRouterTest, SurfacesTcamReleaseAccountingErrors) {
+  EdgeRouter er("er1", TcamLimits{.l3l4_criteria_pool = 10, .mac_filter_pool = 10});
+  er.add_port(1, 1000.0);
+  const auto id = er.install_rule(1, DropNtp());
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(er.tcam_release_errors(), 0u);
+  // Simulate external accounting drift: the reservation is returned behind
+  // the router's back, so remove_rule's release finds nothing to free.
+  ASSERT_TRUE(er.tcam().release(1, DropNtp().match));
+  EXPECT_TRUE(er.remove_rule(1, *id));
+  EXPECT_EQ(er.tcam_release_errors(), 1u);
+  // Counters never went negative despite the double-release.
+  EXPECT_EQ(er.tcam().l3l4_in_use(), 0);
+  EXPECT_LE(er.tcam().l3l4_headroom(), 1.0);
+}
+
 TEST(EdgeRouterTest, DeliverAppliesPolicyAndAccumulatesCounters) {
   EdgeRouter er("er1", TcamLimits{});
   er.add_port(1, 1000.0);

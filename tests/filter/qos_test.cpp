@@ -51,6 +51,88 @@ TEST(QosPolicyTest, FirstMatchWins) {
   EXPECT_EQ(hit->id, 1u);
 }
 
+TEST(QosPolicyTest, ForwardExceptionBeatsBroaderDropAcrossIndexClasses) {
+  // A kForward exception installed ahead of a broader kDrop must win no
+  // matter which index bucket each rule lands in: the exception here is an
+  // exact dst-host rule (indexed) while the drop is a wildcard-port rule
+  // (fallback list).
+  QosPolicy policy;
+  FilterRule allow;
+  allow.match.dst_prefix = net::Prefix4::HostRoute(net::IPv4Address(100, 10, 10, 10));
+  allow.action = FilterAction::kForward;
+  policy.add_rule(1, allow);
+  FilterRule drop_all_udp;
+  drop_all_udp.match.proto = net::IpProto::kUdp;
+  drop_all_udp.action = FilterAction::kDrop;
+  policy.add_rule(2, drop_all_udp);
+
+  const auto flow = Flow(net::IpProto::kUdp, 123, 10).key;
+  const InstalledRule* hit = policy.classify(flow);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->id, 1u);
+  EXPECT_EQ(hit->rule.action, FilterAction::kForward);
+  EXPECT_EQ(policy.classify_linear(flow), hit);
+
+  // Traffic to another destination still hits the drop.
+  auto other = flow;
+  other.dst_ip = net::IPv4Address(100, 10, 10, 11);
+  const InstalledRule* dropped = policy.classify(other);
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->id, 2u);
+}
+
+TEST(QosPolicyTest, FirstMatchWinsSurvivesRemovalCompactionAndReinsertion) {
+  QosPolicy policy;
+  FilterRule allow;
+  allow.match.src_port = PortRange::Single(123);
+  allow.match.proto = net::IpProto::kUdp;
+  allow.action = FilterAction::kForward;
+  FilterRule noise;
+  noise.match.dst_port = PortRange::Single(9999);
+  noise.match.proto = net::IpProto::kTcp;
+  noise.action = FilterAction::kDrop;
+  policy.add_rule(1, noise);
+  policy.add_rule(2, allow);
+  policy.add_rule(3, DropNtp());
+  const auto flow = Flow(net::IpProto::kUdp, 123, 10).key;
+
+  ASSERT_NE(policy.classify(flow), nullptr);
+  EXPECT_EQ(policy.classify(flow)->id, 2u);
+
+  // Removing an unrelated earlier rule compacts positions; the exception
+  // must still shadow the broader drop.
+  EXPECT_TRUE(policy.remove_rule(1));
+  ASSERT_NE(policy.classify(flow), nullptr);
+  EXPECT_EQ(policy.classify(flow)->id, 2u);
+
+  // Removing the exception exposes the drop...
+  EXPECT_TRUE(policy.remove_rule(2));
+  ASSERT_NE(policy.classify(flow), nullptr);
+  EXPECT_EQ(policy.classify(flow)->id, 3u);
+
+  // ...and re-inserting it *after* the drop must NOT restore it: first match
+  // is list position, not rule id or insertion history.
+  policy.add_rule(4, allow);
+  ASSERT_NE(policy.classify(flow), nullptr);
+  EXPECT_EQ(policy.classify(flow)->id, 3u);
+  EXPECT_EQ(policy.classify_linear(flow)->id, 3u);
+}
+
+TEST(QosPolicyTest, ClassifyBatchMatchesScalarClassify) {
+  QosPolicy policy;
+  policy.add_rule(1, DropNtp());
+  policy.add_rule(2, ShapeNtp(100.0));
+  std::vector<net::FlowKey> flows;
+  for (std::uint16_t p = 120; p < 130; ++p) {
+    flows.push_back(Flow(net::IpProto::kUdp, p, 1).key);
+  }
+  const auto batch = policy.classify_batch(flows);
+  ASSERT_EQ(batch.size(), flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ(batch[i], policy.classify(flows[i])) << "flow " << i;
+  }
+}
+
 TEST(QosPolicyTest, RemoveRule) {
   QosPolicy policy;
   policy.add_rule(1, DropNtp());

@@ -91,6 +91,71 @@ TEST(TcamTest, HeadroomFractions) {
   EXPECT_DOUBLE_EQ(unlimited.l3l4_headroom(), 1.0);
 }
 
+TEST(TcamTest, RejectedAllocationLeavesStateUntouched) {
+  // Regression: allocate() used to insert the per-port usage entry *before*
+  // the limit checks, so every rejected allocation permanently grew the map.
+  Tcam tcam({.l3l4_criteria_pool = 2, .mac_filter_pool = 1});
+  EXPECT_EQ(tcam.ports_tracked(), 0u);
+  for (PortId port = 1; port <= 100; ++port) {
+    EXPECT_EQ(tcam.allocate(port, L3L4Rule(3)), TcamFailure::kL3L4PoolExhausted);
+  }
+  EXPECT_EQ(tcam.ports_tracked(), 0u);
+  EXPECT_EQ(tcam.l3l4_in_use(), 0);
+
+  // Same for per-port limit rejections on a port that already has an entry.
+  Tcam limited({.l3l4_criteria_pool = 100, .per_port_l3l4_criteria = 4});
+  EXPECT_EQ(limited.allocate(1, L3L4Rule(3)), TcamFailure::kNone);
+  EXPECT_EQ(limited.allocate(1, L3L4Rule(3)), TcamFailure::kPortL3L4LimitReached);
+  EXPECT_EQ(limited.ports_tracked(), 1u);
+  EXPECT_EQ(limited.l3l4_in_use(1), 3);
+  EXPECT_EQ(limited.l3l4_in_use(), 3);
+}
+
+TEST(TcamTest, DoubleReleaseClampsAtZero) {
+  // Regression: release() only assert()ed, so in release builds a
+  // double-release drove the used counters negative and inflated headroom
+  // past 1.0. Now the counters clamp and the caller is told.
+  Tcam tcam({.l3l4_criteria_pool = 10, .mac_filter_pool = 10});
+  MatchCriteria match = L3L4Rule(3);
+  match.src_mac = net::MacAddress::ForRouter(65001);
+  EXPECT_EQ(tcam.allocate(1, match), TcamFailure::kNone);
+  EXPECT_TRUE(tcam.release(1, match));   // Balanced release succeeds.
+  EXPECT_FALSE(tcam.release(1, match));  // Double-release is reported...
+  EXPECT_EQ(tcam.l3l4_in_use(), 0);      // ...and never goes negative,
+  EXPECT_EQ(tcam.mac_in_use(), 0);
+  EXPECT_EQ(tcam.l3l4_in_use(1), 0);
+  EXPECT_LE(tcam.l3l4_headroom(), 1.0);  // ...so headroom stays a fraction.
+  EXPECT_LE(tcam.mac_headroom(), 1.0);
+}
+
+TEST(TcamTest, ReleaseOnUnknownPortIsReportedNotRecorded) {
+  Tcam tcam({.l3l4_criteria_pool = 10, .mac_filter_pool = 10});
+  EXPECT_FALSE(tcam.release(42, L3L4Rule(2)));
+  EXPECT_EQ(tcam.ports_tracked(), 0u);
+  EXPECT_EQ(tcam.l3l4_in_use(), 0);
+  // A criteria-free release is vacuously fine.
+  EXPECT_TRUE(tcam.release(42, MatchCriteria{}));
+}
+
+TEST(TcamTest, PartialOverReleaseClampsPerCounter) {
+  Tcam tcam({.l3l4_criteria_pool = 10, .mac_filter_pool = 10});
+  EXPECT_EQ(tcam.allocate(1, L3L4Rule(2)), TcamFailure::kNone);
+  // Release claims 3 criteria but only 2 are reserved: clamp, report.
+  EXPECT_FALSE(tcam.release(1, L3L4Rule(3)));
+  EXPECT_EQ(tcam.l3l4_in_use(), 0);
+  EXPECT_EQ(tcam.l3l4_in_use(1), 0);
+  // The pool is genuinely free again.
+  EXPECT_EQ(tcam.allocate(2, L3L4Rule(3)), TcamFailure::kNone);
+}
+
+TEST(TcamTest, FullReleaseForgetsThePort) {
+  Tcam tcam(TcamLimits{});
+  EXPECT_EQ(tcam.allocate(1, L3L4Rule(3)), TcamFailure::kNone);
+  EXPECT_EQ(tcam.ports_tracked(), 1u);
+  EXPECT_TRUE(tcam.release(1, L3L4Rule(3)));
+  EXPECT_EQ(tcam.ports_tracked(), 0u);
+}
+
 TEST(TcamTest, PerPortAccounting) {
   Tcam tcam(TcamLimits{});
   tcam.allocate(7, L3L4Rule(2));

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace stellar::filter {
 namespace {
 
@@ -69,6 +71,22 @@ TEST(TokenBucketTest, SleepUntilAvailableThenConsumeAlwaysSucceeds) {
       ASSERT_TRUE(b.try_consume(1.0, now)) << "rate=" << rate << " i=" << i;
     }
   }
+}
+
+TEST(TokenBucketTest, RequestAboveBurstIsNeverAvailable) {
+  // Regression: time_available() used to guard n <= burst with assert only;
+  // in release builds an over-burst request got a finite answer at which
+  // try_consume still failed, wedging sleep-then-consume callers forever.
+  TokenBucket b(2.0, 5.0);
+  EXPECT_EQ(b.time_available(5.1, 0.0), TokenBucket::kNever);
+  EXPECT_EQ(b.time_available(100.0, 50.0), TokenBucket::kNever);
+  EXPECT_FALSE(std::isfinite(b.time_available(6.0, 0.0)));
+  // The sentinel is consistent with try_consume: no time makes it succeed.
+  EXPECT_FALSE(b.try_consume(5.1, 1e9));
+  // Requests at or below burst still get finite, honest answers.
+  const double when = b.time_available(5.0, 0.0);
+  ASSERT_TRUE(std::isfinite(when));
+  EXPECT_TRUE(b.try_consume(5.0, when));
 }
 
 TEST(TokenBucketTest, NonMonotonicTimeDoesNotRefillBackwards) {

@@ -97,6 +97,69 @@ TEST(TraceIoTest, MalformedInputsRejectedWithLineNumbers) {
   }
 }
 
+TEST(TraceIoTest, FinalLineWithoutTrailingNewlineIsNotDropped) {
+  const std::string with_newline =
+      std::string(kFlowCsvHeader) +
+      "\n1.0,02:00:00:00:00:01,1.2.3.4,5.6.7.8,udp,123,99,1000,2\n"
+      "2.0,02:00:00:00:00:01,1.2.3.4,5.6.7.8,tcp,1,2,3,4\n";
+  std::string without_newline = with_newline;
+  without_newline.pop_back();
+  const auto a = FlowsFromCsv(with_newline);
+  const auto b = FlowsFromCsv(without_newline);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok()) << b.error().message;
+  ASSERT_EQ(b->size(), 2u) << "final sample silently dropped";
+  EXPECT_EQ((*a)[1].key, (*b)[1].key);
+  EXPECT_EQ((*a)[1].bytes, (*b)[1].bytes);
+
+  // Header-only document without a trailing newline is a valid empty trace.
+  const auto header_only = FlowsFromCsv(std::string(kFlowCsvHeader));
+  ASSERT_TRUE(header_only.ok());
+  EXPECT_TRUE(header_only->empty());
+}
+
+TEST(TraceIoTest, EmptyFieldsAreErrorsNotSilentDrops) {
+  const std::string header(kFlowCsvHeader);
+  const std::vector<std::pair<const char*, std::string>> cases{
+      {"all fields empty", header + "\n,,,,,,,,\n"},
+      {"empty time", header + "\n,02:00:00:00:00:01,1.2.3.4,5.6.7.8,udp,1,2,3,4\n"},
+      {"empty mac", header + "\n1.0,,1.2.3.4,5.6.7.8,udp,1,2,3,4\n"},
+      {"empty src ip", header + "\n1.0,02:00:00:00:00:01,,5.6.7.8,udp,1,2,3,4\n"},
+      {"empty proto", header + "\n1.0,02:00:00:00:00:01,1.2.3.4,5.6.7.8,,1,2,3,4\n"},
+      {"empty port", header + "\n1.0,02:00:00:00:00:01,1.2.3.4,5.6.7.8,udp,,2,3,4\n"},
+      {"empty bytes", header + "\n1.0,02:00:00:00:00:01,1.2.3.4,5.6.7.8,udp,1,2,,4\n"},
+      {"empty packets", header + "\n1.0,02:00:00:00:00:01,1.2.3.4,5.6.7.8,udp,1,2,3,\n"},
+      {"trailing comma", header + "\n1.0,02:00:00:00:00:01,1.2.3.4,5.6.7.8,udp,1,2,3,4,\n"},
+      {"lone commas line", header + "\n,,,\n"},
+  };
+  for (const auto& [name, csv] : cases) {
+    const auto parsed = FlowsFromCsv(csv);
+    EXPECT_FALSE(parsed.ok()) << name;
+    if (!parsed.ok()) {
+      EXPECT_NE(parsed.error().message.find("line 2"), std::string::npos) << name;
+    }
+  }
+}
+
+TEST(TraceIoTest, MalformedRowsDoNotPoisonLaterParsesAndReportExactLine) {
+  // A malformed row mid-document reports its own (1-based) line number even
+  // with comments, blank lines and CRLF endings mixed in.
+  const std::string csv = std::string(kFlowCsvHeader) +
+                          "\n# comment\r\n\n"
+                          "4.0,02:00:00:00:00:01,1.2.3.4,5.6.7.8,udp,1,2,3,4\n"
+                          "5.0,02:00:00:00:00:01,1.2.3.4,5.6.7.8,udp,1,2,3\n";
+  const auto parsed = FlowsFromCsv(csv);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("line 5"), std::string::npos)
+      << parsed.error().message;
+  // Oversized numeric field (longer than the parse buffer) is rejected, not
+  // truncated or read out of range.
+  const std::string huge(100, '1');
+  const auto oversized = FlowsFromCsv(std::string(kFlowCsvHeader) + "\n" + huge +
+                                      ",02:00:00:00:00:01,1.2.3.4,5.6.7.8,udp,1,2,3,4\n");
+  EXPECT_FALSE(oversized.ok());
+}
+
 TEST(TraceIoTest, EmptyDocumentRejected) {
   EXPECT_FALSE(FlowsFromCsv("").ok());
   // Header-only is a valid empty trace.

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI entry point: build the whole tree under ASan+UBSan and run the full test
+# suite. Any sanitizer report aborts the run (-fno-sanitize-recover=all), so
+# release-build-only bug classes — counter underflow, out-of-range reads, UB
+# behind NDEBUG'd asserts — fail the job mechanically instead of corrupting
+# results silently.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-sanitize}
+JOBS=${JOBS:-$(nproc)}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSTELLAR_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
