@@ -3,10 +3,11 @@
 // reflection attack, per-bin delivery accounting).
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
-#include <set>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/stellar.hpp"
@@ -82,17 +83,29 @@ struct BooterExperiment {
     double benign_mbps = 0.0;
     double shaped_mbps = 0.0;   ///< Delivered via shaping queues.
     std::size_t peers = 0;      ///< Distinct source members still arriving.
+    /// The delivered flow samples themselves — the IPFIX-style stream a
+    /// detection engine observes (bench/fig10c_auto_detect feeds these to
+    /// StellarSystem::observe_bin).
+    std::vector<net::FlowSample> delivered;
   };
 
+  /// Sim-clock time of experiment t=0. Captured at the first run_bin call:
+  /// IXP construction has already consumed sim time (sessions establishing,
+  /// routes settling), so bin timestamps must be offset onto the sim clock —
+  /// otherwise run_until() no-ops until t catches up with the settled clock
+  /// and BGP messages sent in early bins sit undelivered for tens of bins.
+  double epoch_s = -1.0;
+
   BinOutcome run_bin(double t, double bin_s) {
-    queue.run_until(sim::Seconds(t));
+    if (epoch_s < 0.0) epoch_s = queue.now().count();
+    queue.run_until(sim::Seconds(epoch_s + t));
     std::vector<net::FlowSample> offered = web->bin(t, bin_s);
     for (auto& s : attack->bin(t, bin_s)) offered.push_back(s);
-    const auto report = ixp->deliver_bin(offered, bin_s);
+    auto report = ixp->deliver_bin(offered, bin_s);
     BinOutcome out;
     out.t = t;
     out.shaped_mbps = report.shaper_dropped_mbps;
-    std::set<net::MacAddress> peers;
+    std::unordered_set<net::MacAddress> peers;
     for (const auto& f : report.delivered) {
       peers.insert(f.key.src_mac);
       if (f.key.proto == net::IpProto::kUdp && f.key.src_port == net::kPortNtp) {
@@ -102,6 +115,7 @@ struct BooterExperiment {
       }
     }
     out.peers = peers.size();
+    out.delivered = std::move(report.delivered);
     return out;
   }
 };

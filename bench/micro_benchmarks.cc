@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bgp/flowspec.hpp"
+#include "detect/sketch.hpp"
 #include "bgp/message.hpp"
 #include "bgp/rib.hpp"
 #include "core/signal.hpp"
@@ -14,6 +15,7 @@
 #include "filter/tcam.hpp"
 #include "ixp/fabric.hpp"
 #include "net/ports.hpp"
+#include "traffic/collector.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -220,5 +222,56 @@ void BM_FabricLpm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FabricLpm)->Arg(100)->Arg(800);
+
+void BM_FlowCollectorIngest(benchmark::State& state) {
+  // Per-sample ingest over a realistic mix (many peers, amplification-heavy
+  // port distribution). Dominated by the per-bin peer-set insertion — the
+  // collector sits on the IPFIX path, so this bounds flow-stream throughput.
+  util::Rng rng(42);
+  const auto peer_count = static_cast<std::uint32_t>(state.range(0));
+  std::vector<net::FlowSample> samples;
+  samples.reserve(4'096);
+  for (int i = 0; i < 4'096; ++i) {
+    net::FlowSample s;
+    s.time_s = rng.uniform(0.0, 600.0);
+    s.key.src_mac = net::MacAddress::ForRouter(
+        65'001 + static_cast<std::uint32_t>(rng.uniform_int(0, peer_count - 1)));
+    s.key.src_ip = net::IPv4Address(static_cast<std::uint32_t>(rng.uniform_int(1, 1 << 30)));
+    s.key.dst_ip = net::IPv4Address(100, 10, 10, 10);
+    s.key.proto = rng.chance(0.8) ? net::IpProto::kUdp : net::IpProto::kTcp;
+    s.key.src_port = rng.chance(0.7) ? net::kPortNtp
+                                     : static_cast<std::uint16_t>(rng.uniform_int(1024, 65'535));
+    s.key.dst_port = static_cast<std::uint16_t>(rng.uniform_int(1024, 65'535));
+    s.bytes = 1'000;
+    s.packets = 1;
+    samples.push_back(s);
+  }
+  traffic::FlowCollector collector(60.0);
+  for (auto _ : state) {
+    collector.ingest(samples);
+    benchmark::DoNotOptimize(collector.bins().size());
+    collector.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(samples.size()));
+}
+BENCHMARK(BM_FlowCollectorIngest)->Arg(16)->Arg(650);
+
+void BM_CountMinSketchAdd(benchmark::State& state) {
+  // The detection engine's per-sample cost: conservative-update add.
+  util::Rng rng(43);
+  std::vector<std::uint64_t> keys(4'096);
+  for (auto& k : keys) {
+    k = detect::FlowAggregateKey(static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 24)), 17,
+                                 static_cast<std::uint16_t>(rng.uniform_int(0, 65'535)));
+  }
+  detect::CountMinSketch cms(1'024, 4);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    cms.add(keys[i++ & 4'095], 1'000);
+    benchmark::DoNotOptimize(cms.total());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinSketchAdd);
 
 }  // namespace

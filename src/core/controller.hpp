@@ -93,6 +93,7 @@ class BlackholingController {
   };
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] const bgp::Rib& rib() const { return rib_; }
   [[nodiscard]] bgp::Session& session() { return *session_; }
   /// Currently desired (admitted) rules, keyed by change identity.

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/controller.hpp"
@@ -13,6 +14,17 @@
 #include "ixp/ixp.hpp"
 
 namespace stellar::core {
+
+/// Consumer of the platform's delivered-traffic stream (IPFIX viewpoint).
+/// Attack-detection engines implement this to close the mitigation loop: the
+/// system fans every delivered bin out to attached observers, which may react
+/// by signaling blackholing rules through the normal member signaling path.
+class TrafficObserver {
+ public:
+  virtual ~TrafficObserver() = default;
+  virtual void observe_bin(std::span<const net::FlowSample> delivered, double t_s,
+                           double bin_s) = 0;
+};
 
 class StellarSystem {
  public:
@@ -25,9 +37,24 @@ class StellarSystem {
   explicit StellarSystem(ixp::Ixp& ixp) : StellarSystem(ixp, Config{}) {}
 
   [[nodiscard]] BlackholingController& controller() { return *controller_; }
+  [[nodiscard]] const BlackholingController& controller() const { return *controller_; }
   [[nodiscard]] NetworkManager& manager() { return *manager_; }
   [[nodiscard]] RulePortal& portal() { return portal_; }
   [[nodiscard]] QosConfigCompiler& compiler() { return *compiler_; }
+  [[nodiscard]] ixp::Ixp& ixp() { return ixp_; }
+
+  /// Opt-in auto-mitigation hook: attached observers receive every delivered
+  /// bin pushed through observe_bin(). Detection engines (src/detect/) use
+  /// this to synthesize and signal rules with no operator in the loop.
+  void attach_observer(std::shared_ptr<TrafficObserver> observer) {
+    observers_.push_back(std::move(observer));
+  }
+  [[nodiscard]] std::size_t observer_count() const { return observers_.size(); }
+
+  /// Fans one bin of delivered traffic out to all attached observers.
+  void observe_bin(std::span<const net::FlowSample> delivered, double t_s, double bin_s) {
+    for (const auto& observer : observers_) observer->observe_bin(delivered, t_s, bin_s);
+  }
 
   /// Per-rule telemetry for one member: the feedback channel that lets a
   /// victim see attack state and volume without lifting the mitigation.
@@ -45,6 +72,7 @@ class StellarSystem {
   std::unique_ptr<QosConfigCompiler> compiler_;
   std::unique_ptr<NetworkManager> manager_;
   std::unique_ptr<BlackholingController> controller_;
+  std::vector<std::shared_ptr<TrafficObserver>> observers_;
 };
 
 /// Member-side convenience: announce `prefix` with an Advanced Blackholing

@@ -1,0 +1,81 @@
+#include "detect/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace stellar::detect {
+
+VolumeDetector::VolumeDetector(Config config) : cfg_(config) {
+  cooldown_until_ = -std::numeric_limits<double>::infinity();
+}
+
+void VolumeDetector::learn(double mbps) {
+  if (bins_seen_ == 0) {
+    baseline_ = mbps;
+    mad_ = 0.0;
+  } else {
+    mad_ = (1.0 - cfg_.mad_alpha) * mad_ + cfg_.mad_alpha * std::abs(mbps - baseline_);
+    baseline_ = (1.0 - cfg_.ewma_alpha) * baseline_ + cfg_.ewma_alpha * mbps;
+  }
+  ++bins_seen_;
+}
+
+VolumeDetector::Decision VolumeDetector::observe(double t_s, double mbps) {
+  Decision d;
+  const double dev = std::max(mad_, cfg_.mad_floor_mbps);
+  const double excess = mbps - baseline_;
+  d.baseline_mbps = baseline_;
+  d.deviation_mbps = dev;
+  d.score = excess / dev;
+
+  switch (state_) {
+    case State::kLearning:
+      learn(mbps);
+      if (bins_seen_ >= cfg_.warmup_bins) state_ = State::kNormal;
+      break;
+
+    case State::kNormal: {
+      const bool anomalous =
+          excess > cfg_.trigger_sigma * dev && excess > cfg_.min_attack_mbps;
+      if (anomalous) {
+        // Do not learn attack onset into the baseline.
+        ++over_streak_;
+        if (over_streak_ >= cfg_.trigger_bins && t_s >= cooldown_until_) {
+          state_ = State::kTriggered;
+          triggered_at_ = t_s;
+          over_streak_ = 0;
+          quiet_streak_ = 0;
+          d.triggered_now = true;
+        }
+      } else {
+        over_streak_ = 0;
+        learn(mbps);
+      }
+      break;
+    }
+
+    case State::kTriggered: {
+      // Baseline frozen: the pre-attack estimate is the reference the clear
+      // threshold is measured against.
+      const bool quiet = excess < cfg_.clear_sigma * dev;
+      if (quiet) {
+        ++quiet_streak_;
+        if (quiet_streak_ >= cfg_.clear_bins && t_s - triggered_at_ >= cfg_.min_hold_s) {
+          state_ = State::kNormal;
+          quiet_streak_ = 0;
+          cooldown_until_ = t_s + cfg_.cooldown_s;
+          d.cleared_now = true;
+        }
+      } else {
+        quiet_streak_ = 0;
+      }
+      break;
+    }
+  }
+
+  d.state = state_;
+  return d;
+}
+
+}  // namespace stellar::detect

@@ -1,0 +1,66 @@
+// Per-victim volumetric anomaly detector: EWMA baseline with a MAD-style
+// deviation estimate (the srtt/rttvar recursion of RFC 6298 applied to bin
+// volume), distinct trigger/clear thresholds (hysteresis) and a cooldown
+// timer — bursty benign traffic must never flap mitigation rules on and off.
+#pragma once
+
+#include <cstdint>
+
+namespace stellar::detect {
+
+class VolumeDetector {
+ public:
+  struct Config {
+    double ewma_alpha = 0.25;       ///< Baseline learning rate.
+    double mad_alpha = 0.25;        ///< Deviation learning rate.
+    double trigger_sigma = 6.0;     ///< Deviations above baseline to trigger.
+    double clear_sigma = 2.5;       ///< Deviations above baseline to clear (< trigger).
+    double min_attack_mbps = 50.0;  ///< Absolute excess floor: tiny ports never trigger.
+    double mad_floor_mbps = 1.0;    ///< Deviation floor so a flat baseline can't hair-trigger.
+    int trigger_bins = 2;           ///< Consecutive anomalous bins required to trigger.
+    int clear_bins = 3;             ///< Consecutive quiet bins required to clear.
+    int warmup_bins = 3;            ///< Bins of pure learning before detection arms.
+    double min_hold_s = 40.0;       ///< Earliest clear after a trigger.
+    double cooldown_s = 60.0;       ///< No re-trigger for this long after a clear.
+  };
+
+  enum class State : std::uint8_t {
+    kLearning,   ///< Warming up the baseline; detection not armed yet.
+    kNormal,     ///< Baseline tracking; watching for anomalies.
+    kTriggered,  ///< Attack declared; baseline frozen.
+  };
+
+  struct Decision {
+    State state = State::kLearning;
+    bool triggered_now = false;  ///< This observation crossed into kTriggered.
+    bool cleared_now = false;    ///< This observation crossed back to kNormal.
+    double baseline_mbps = 0.0;
+    double deviation_mbps = 0.0;  ///< Current MAD estimate (floored).
+    double score = 0.0;           ///< (x - baseline) / deviation.
+  };
+
+  explicit VolumeDetector(Config config);
+  VolumeDetector() : VolumeDetector(Config{}) {}
+
+  /// Feeds one bin's volume. Observations must be in nondecreasing time order.
+  Decision observe(double t_s, double mbps);
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] double baseline_mbps() const { return baseline_; }
+  [[nodiscard]] double triggered_at_s() const { return triggered_at_; }
+
+ private:
+  void learn(double mbps);
+
+  Config cfg_;
+  State state_ = State::kLearning;
+  int bins_seen_ = 0;
+  double baseline_ = 0.0;
+  double mad_ = 0.0;
+  int over_streak_ = 0;
+  int quiet_streak_ = 0;
+  double triggered_at_ = 0.0;
+  double cooldown_until_ = 0.0;
+};
+
+}  // namespace stellar::detect

@@ -1,0 +1,80 @@
+#include "detect/synthesizer.hpp"
+
+#include <algorithm>
+
+#include "net/ports.hpp"
+
+namespace stellar::detect {
+
+namespace {
+
+bool IsKnownAmplifierPort(std::uint16_t port) {
+  for (const auto& svc : net::kAmplificationServices) {
+    if (svc.udp_port == port) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+RuleSynthesizer::Plan RuleSynthesizer::synthesize(const TrafficProfile& profile,
+                                                  std::size_t budget) const {
+  Plan plan;
+  if (budget == 0) return plan;
+  const double attack_mbps = std::max(profile.total_mbps - profile.baseline_mbps, 0.0);
+  if (attack_mbps <= 0.0) return plan;
+
+  const std::size_t max_rules = std::min(budget, cfg_.max_rules);
+
+  // Candidate amplification signatures: heavy-hitter UDP source ports with a
+  // non-noise share of the windowed UDP bytes. Skipped entirely when the
+  // source-port distribution is too dispersed to be a reflection signature.
+  if (profile.udp_window_bytes > 0 &&
+      profile.udp_src_port_entropy <= cfg_.max_signature_entropy) {
+    std::vector<SpaceSaving::Entry> candidates;
+    for (const auto& entry : profile.udp_src_ports) {
+      const double share =
+          static_cast<double>(entry.count) / static_cast<double>(profile.udp_window_bytes);
+      if (share >= cfg_.min_port_share) candidates.push_back(entry);
+    }
+    if (cfg_.prefer_known_amplifiers) {
+      std::stable_partition(candidates.begin(), candidates.end(), [](const auto& e) {
+        return IsKnownAmplifierPort(static_cast<std::uint16_t>(e.key));
+      });
+    }
+    double covered_mbps = 0.0;
+    for (const auto& entry : candidates) {
+      if (plan.rules.size() >= max_rules) break;
+      const double share =
+          static_cast<double>(entry.count) / static_cast<double>(profile.udp_window_bytes);
+      plan.rules.push_back(
+          {core::RuleKind::kUdpSrcPort, static_cast<std::uint16_t>(entry.key)});
+      covered_mbps += share * profile.udp_mbps;
+      if (covered_mbps >= cfg_.coverage_target * attack_mbps) break;
+    }
+    plan.covered_share = std::min(covered_mbps / attack_mbps, 1.0);
+    if (!plan.rules.empty() && plan.covered_share >= cfg_.coverage_target) return plan;
+  }
+
+  // Fallback: one protocol-wide rule on the dominant protocol, if that
+  // protocol actually carries the excess. Coarser collateral (all UDP towards
+  // the victim is shaped/dropped), but a single TCAM entry.
+  const bool udp_dominant = profile.udp_mbps >= profile.tcp_mbps;
+  const double dominant_mbps = udp_dominant ? profile.udp_mbps : profile.tcp_mbps;
+  if (dominant_mbps >= cfg_.coverage_target * attack_mbps) {
+    plan.rules.clear();
+    plan.rules.push_back({core::RuleKind::kProtocol,
+                          static_cast<std::uint16_t>(udp_dominant ? net::IpProto::kUdp
+                                                                  : net::IpProto::kTcp)});
+    plan.covered_share = std::min(dominant_mbps / attack_mbps, 1.0);
+    plan.fallback_proto = true;
+    return plan;
+  }
+
+  // Neither signatures nor a single protocol explains the excess: return the
+  // best-effort port signatures (possibly empty) rather than blackholing the
+  // whole prefix — benign collateral is the invariant we refuse to break.
+  return plan;
+}
+
+}  // namespace stellar::detect

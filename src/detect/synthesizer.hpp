@@ -1,0 +1,72 @@
+// Rule synthesis: collapse a victim's traffic profile (heavy-hitter UDP
+// source ports, protocol mix, source-port entropy) into the minimal set of
+// L3-L4 Stellar match rules that covers the attack volume — amplification
+// source-port signatures first (the paper's "IXP:2:123" idiom), falling back
+// to a protocol-wide rule when the port signatures cannot explain the excess,
+// all subject to the victim port's remaining TCAM rule budget.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/signal.hpp"
+#include "detect/sketch.hpp"
+#include "net/ip.hpp"
+
+namespace stellar::detect {
+
+/// What the engine's sketches say about one victim around the trigger time.
+struct TrafficProfile {
+  net::IPv4Address victim;
+  double total_mbps = 0.0;     ///< Current bin volume towards the victim.
+  double udp_mbps = 0.0;
+  double tcp_mbps = 0.0;
+  double baseline_mbps = 0.0;  ///< Detector's pre-attack baseline (benign estimate).
+  /// Windowed per-UDP-source-port byte counts (SpaceSaving entries, counts
+  /// already tightened against the count-min estimates), descending.
+  std::vector<SpaceSaving::Entry> udp_src_ports;
+  std::uint64_t udp_window_bytes = 0;  ///< Denominator for port shares.
+  double udp_src_port_entropy = 1.0;   ///< Normalized [0,1]; low = concentrated.
+};
+
+class RuleSynthesizer {
+ public:
+  struct Config {
+    /// Fraction of the attack excess the synthesized rules must explain for a
+    /// port-signature plan to be accepted without the protocol fallback.
+    double coverage_target = 0.85;
+    /// Hard cap on rules per victim regardless of TCAM budget.
+    std::size_t max_rules = 4;
+    /// Ports below this share of windowed UDP bytes are noise, not signature.
+    double min_port_share = 0.05;
+    /// Rank well-known amplification service ports (net::kAmplificationServices)
+    /// ahead of unknown ports with comparable volume.
+    bool prefer_known_amplifiers = true;
+    /// Entropy above which the UDP source ports are too dispersed for
+    /// per-port signatures to be meaningful (go straight to the fallback).
+    double max_signature_entropy = 0.7;
+  };
+
+  struct Plan {
+    std::vector<core::SignalRule> rules;
+    double covered_share = 0.0;   ///< Estimated fraction of attack excess matched.
+    bool fallback_proto = false;  ///< Plan is a proto-wide rule, not port signatures.
+
+    [[nodiscard]] bool empty() const { return rules.empty(); }
+  };
+
+  explicit RuleSynthesizer(Config config) : cfg_(config) {}
+  RuleSynthesizer() : RuleSynthesizer(Config{}) {}
+
+  /// `budget` is the number of rules the victim's port can still take
+  /// (admission control headroom). Returns an empty plan when the budget is
+  /// zero or the profile shows no attack excess.
+  [[nodiscard]] Plan synthesize(const TrafficProfile& profile, std::size_t budget) const;
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace stellar::detect

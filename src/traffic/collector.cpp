@@ -126,7 +126,7 @@ std::vector<std::pair<std::uint16_t, std::uint64_t>> FlowCollector::top_service_
 }
 
 std::size_t FlowCollector::distinct_peers(double t0_s, double t1_s) const {
-  std::set<net::MacAddress> peers;
+  std::unordered_set<net::MacAddress> peers;
   for (auto it = bins_.lower_bound(bin_index(t0_s)); it != bins_.end(); ++it) {
     if (it->second.start_s >= t1_s) break;
     peers.insert(it->second.peers.begin(), it->second.peers.end());

@@ -5,8 +5,8 @@
 
 #include <cstdint>
 #include <map>
-#include <set>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "net/flow.hpp"
@@ -35,7 +35,10 @@ class FlowCollector {
     std::map<std::uint16_t, std::uint64_t> bytes_by_udp_src_port;
     std::uint64_t udp_bytes = 0;
     std::uint64_t tcp_bytes = 0;
-    std::set<net::MacAddress> peers;  ///< Distinct source member routers.
+    /// Distinct source member routers. Hashed, not ordered: peer insertion is
+    /// on the per-sample ingest hot path (std::hash<MacAddress> over the
+    /// 48-bit address), and no aggregate needs ordered iteration.
+    std::unordered_set<net::MacAddress> peers;
   };
 
   [[nodiscard]] const std::map<std::int64_t, Bin>& bins() const { return bins_; }

@@ -1,0 +1,151 @@
+#include "detect/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace stellar::detect {
+namespace {
+
+// Drives the detector through `bins` observations of benign traffic around
+// `mean` Mbps with +-`jitter` uniform noise. Returns the time after the run.
+double FeedBenign(VolumeDetector& det, util::Rng& rng, double t, int bins,
+                  double mean, double jitter, double bin_s = 20.0) {
+  for (int i = 0; i < bins; ++i, t += bin_s) {
+    const auto d = det.observe(t, mean + rng.uniform(-jitter, jitter));
+    EXPECT_FALSE(d.triggered_now) << "benign bin at t=" << t;
+  }
+  return t;
+}
+
+TEST(VolumeDetectorTest, WarmupNeverTriggers) {
+  VolumeDetector det;
+  // Even an absurd first observation is learning material, not an anomaly.
+  const auto d = det.observe(0.0, 10'000.0);
+  EXPECT_EQ(d.state, VolumeDetector::State::kLearning);
+  EXPECT_FALSE(d.triggered_now);
+}
+
+TEST(VolumeDetectorTest, BenignNoiseNeverTriggers) {
+  // A day of bursty-but-benign bins: 60 +- 15 Mbps. The absolute floor
+  // (min_attack_mbps = 50) and the MAD threshold must both stay quiet.
+  VolumeDetector det;
+  util::Rng rng(5);
+  FeedBenign(det, rng, 0.0, 4'320, 60.0, 15.0);
+  EXPECT_EQ(det.state(), VolumeDetector::State::kNormal);
+}
+
+TEST(VolumeDetectorTest, AttackTriggersAfterConsecutiveBins) {
+  VolumeDetector::Config cfg;
+  cfg.trigger_bins = 2;
+  VolumeDetector det(cfg);
+  util::Rng rng(6);
+  double t = FeedBenign(det, rng, 0.0, 20, 60.0, 5.0);
+
+  // Bin 1 of the flood: anomalous but below the streak requirement.
+  auto d = det.observe(t, 1'000.0);
+  EXPECT_FALSE(d.triggered_now);
+  EXPECT_EQ(d.state, VolumeDetector::State::kNormal);
+  // Bin 2: streak satisfied -> trigger, exactly once.
+  d = det.observe(t + 20.0, 1'000.0);
+  EXPECT_TRUE(d.triggered_now);
+  EXPECT_EQ(d.state, VolumeDetector::State::kTriggered);
+  d = det.observe(t + 40.0, 1'000.0);
+  EXPECT_FALSE(d.triggered_now) << "triggered_now must be edge, not level";
+  EXPECT_EQ(d.state, VolumeDetector::State::kTriggered);
+}
+
+TEST(VolumeDetectorTest, BaselineFrozenDuringAttack) {
+  VolumeDetector det;
+  util::Rng rng(7);
+  double t = FeedBenign(det, rng, 0.0, 30, 60.0, 5.0);
+  const double baseline_before = det.baseline_mbps();
+  det.observe(t, 900.0);
+  det.observe(t + 20.0, 900.0);  // Triggers.
+  ASSERT_EQ(det.state(), VolumeDetector::State::kTriggered);
+  for (int i = 2; i < 20; ++i) det.observe(t + i * 20.0, 900.0);
+  // The attack must not be learned as the new normal.
+  EXPECT_NEAR(det.baseline_mbps(), baseline_before, 1.0);
+}
+
+TEST(VolumeDetectorTest, SingleBinSpikeDoesNotTrigger) {
+  // trigger_bins = 2 means an isolated one-bin burst (e.g. a flash crowd
+  // sample) resets the streak.
+  VolumeDetector det;
+  util::Rng rng(8);
+  double t = FeedBenign(det, rng, 0.0, 20, 60.0, 5.0);
+  for (int i = 0; i < 10; ++i) {
+    auto d = det.observe(t, 800.0);  // One hot bin...
+    EXPECT_FALSE(d.triggered_now);
+    t += 20.0;
+    d = det.observe(t, 60.0);  // ...always followed by a quiet one.
+    EXPECT_FALSE(d.triggered_now);
+    t += 20.0;
+  }
+  EXPECT_EQ(det.state(), VolumeDetector::State::kNormal);
+}
+
+TEST(VolumeDetectorTest, ClearRequiresQuietStreakAndHoldTime) {
+  VolumeDetector::Config cfg;
+  cfg.trigger_bins = 2;
+  cfg.clear_bins = 3;
+  cfg.min_hold_s = 40.0;
+  VolumeDetector det(cfg);
+  util::Rng rng(9);
+  double t = FeedBenign(det, rng, 0.0, 20, 60.0, 5.0);
+  det.observe(t, 1'000.0);
+  det.observe(t + 20.0, 1'000.0);
+  ASSERT_EQ(det.state(), VolumeDetector::State::kTriggered);
+  t += 40.0;
+
+  // Two quiet bins then a relapse: the quiet streak must reset.
+  det.observe(t, 60.0);
+  det.observe(t + 20.0, 60.0);
+  auto d = det.observe(t + 40.0, 1'000.0);
+  EXPECT_EQ(d.state, VolumeDetector::State::kTriggered);
+  t += 60.0;
+
+  // Three consecutive quiet bins (and past min_hold_s): clears exactly once.
+  det.observe(t, 60.0);
+  det.observe(t + 20.0, 60.0);
+  d = det.observe(t + 40.0, 60.0);
+  EXPECT_TRUE(d.cleared_now);
+  EXPECT_EQ(d.state, VolumeDetector::State::kNormal);
+}
+
+TEST(VolumeDetectorTest, CooldownBlocksImmediateRetrigger) {
+  VolumeDetector::Config cfg;
+  cfg.trigger_bins = 1;
+  cfg.clear_bins = 1;
+  cfg.min_hold_s = 0.0;
+  cfg.cooldown_s = 100.0;
+  VolumeDetector det(cfg);
+  util::Rng rng(10);
+  double t = FeedBenign(det, rng, 0.0, 20, 60.0, 5.0);
+
+  ASSERT_TRUE(det.observe(t, 1'000.0).triggered_now);
+  ASSERT_TRUE(det.observe(t + 20.0, 60.0).cleared_now);
+  // Within the cooldown window: anomalous bins must not re-trigger (this is
+  // the anti-flap guarantee for on/off attacks).
+  auto d = det.observe(t + 40.0, 1'000.0);
+  EXPECT_FALSE(d.triggered_now);
+  d = det.observe(t + 60.0, 1'000.0);
+  EXPECT_FALSE(d.triggered_now);
+  // After the cooldown: detection re-arms.
+  d = det.observe(t + 140.0, 1'000.0);
+  EXPECT_TRUE(d.triggered_now);
+}
+
+TEST(VolumeDetectorTest, SmallExcessBelowFloorIgnored) {
+  // A flat 1 Mbps service with a jump to 30 Mbps is a big sigma move but
+  // below min_attack_mbps — must not trigger (tiny ports never flap rules).
+  VolumeDetector det;
+  util::Rng rng(12);
+  double t = FeedBenign(det, rng, 0.0, 20, 1.0, 0.1);
+  for (int i = 0; i < 10; ++i, t += 20.0) {
+    EXPECT_FALSE(det.observe(t, 30.0).triggered_now);
+  }
+}
+
+}  // namespace
+}  // namespace stellar::detect

@@ -1,0 +1,134 @@
+#include "detect/synthesizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/ports.hpp"
+
+namespace stellar::detect {
+namespace {
+
+SpaceSaving::Entry Port(std::uint16_t port, std::uint64_t bytes) {
+  return SpaceSaving::Entry{port, bytes, 0};
+}
+
+/// An NTP reflection flood: 1000 Mbps total over a 60 Mbps baseline, with
+/// ~95% of windowed UDP bytes from source port 123.
+TrafficProfile NtpFlood() {
+  TrafficProfile p;
+  p.victim = net::IPv4Address(100, 10, 10, 10);
+  p.total_mbps = 1'060.0;
+  p.udp_mbps = 1'010.0;
+  p.tcp_mbps = 50.0;
+  p.baseline_mbps = 60.0;
+  p.udp_window_bytes = 10'000'000;
+  p.udp_src_ports = {Port(net::kPortNtp, 9'500'000), Port(53'123, 300'000),
+                     Port(40'000, 200'000)};
+  p.udp_src_port_entropy = 0.1;
+  return p;
+}
+
+TEST(RuleSynthesizerTest, ZeroBudgetOrNoExcessIsEmpty) {
+  RuleSynthesizer syn;
+  EXPECT_TRUE(syn.synthesize(NtpFlood(), 0).empty());
+  TrafficProfile quiet = NtpFlood();
+  quiet.total_mbps = quiet.baseline_mbps;  // Nothing above baseline.
+  EXPECT_TRUE(syn.synthesize(quiet, 8).empty());
+}
+
+TEST(RuleSynthesizerTest, NtpFloodYieldsSinglePortSignature) {
+  RuleSynthesizer syn;
+  const auto plan = syn.synthesize(NtpFlood(), 8);
+  ASSERT_EQ(plan.rules.size(), 1u);
+  EXPECT_EQ(plan.rules[0].kind, core::RuleKind::kUdpSrcPort);
+  EXPECT_EQ(plan.rules[0].value, net::kPortNtp);
+  EXPECT_FALSE(plan.fallback_proto);
+  EXPECT_GE(plan.covered_share, syn.config().coverage_target);
+}
+
+TEST(RuleSynthesizerTest, MultiVectorUsesMultipleSignatures) {
+  // NTP + DNS + memcached, each ~1/3 of the flood: one rule cannot reach the
+  // coverage target, three can.
+  TrafficProfile p = NtpFlood();
+  p.udp_src_ports = {Port(net::kPortNtp, 3'400'000), Port(net::kPortDns, 3'300'000),
+                     Port(net::kPortMemcached, 3'300'000)};
+  RuleSynthesizer syn;
+  const auto plan = syn.synthesize(p, 8);
+  ASSERT_EQ(plan.rules.size(), 3u);
+  for (const auto& rule : plan.rules) {
+    EXPECT_EQ(rule.kind, core::RuleKind::kUdpSrcPort);
+  }
+  EXPECT_GE(plan.covered_share, syn.config().coverage_target);
+}
+
+TEST(RuleSynthesizerTest, BudgetCapsRuleCount) {
+  TrafficProfile p = NtpFlood();
+  p.udp_src_ports = {Port(net::kPortNtp, 3'400'000), Port(net::kPortDns, 3'300'000),
+                     Port(net::kPortMemcached, 3'300'000)};
+  const auto plan = RuleSynthesizer().synthesize(p, 2);
+  EXPECT_LE(plan.rules.size(), 2u);
+}
+
+TEST(RuleSynthesizerTest, KnownAmplifierRankedBeforeUnknownPort) {
+  // An unknown high port carries slightly more bytes than NTP; with
+  // prefer_known_amplifiers the NTP signature still goes first.
+  TrafficProfile p = NtpFlood();
+  p.udp_src_ports = {Port(40'000, 5'100'000), Port(net::kPortNtp, 4'900'000)};
+  const auto plan = RuleSynthesizer().synthesize(p, 8);
+  ASSERT_FALSE(plan.rules.empty());
+  EXPECT_EQ(plan.rules[0].value, net::kPortNtp);
+}
+
+TEST(RuleSynthesizerTest, NoisePortsBelowMinShareExcluded) {
+  TrafficProfile p = NtpFlood();
+  // 123 has 96%, the rest are sub-5% noise.
+  p.udp_src_ports = {Port(net::kPortNtp, 9'600'000), Port(1024, 200'000),
+                     Port(2048, 100'000), Port(4096, 100'000)};
+  const auto plan = RuleSynthesizer().synthesize(p, 8);
+  ASSERT_EQ(plan.rules.size(), 1u);
+  EXPECT_EQ(plan.rules[0].value, net::kPortNtp);
+}
+
+TEST(RuleSynthesizerTest, HighEntropyFallsBackToProtocolRule) {
+  // A UDP flood from random source ports: per-port signatures are
+  // meaningless, so the plan is one proto-wide UDP rule.
+  TrafficProfile p = NtpFlood();
+  p.udp_src_port_entropy = 0.95;
+  const auto plan = RuleSynthesizer().synthesize(p, 8);
+  ASSERT_EQ(plan.rules.size(), 1u);
+  EXPECT_TRUE(plan.fallback_proto);
+  EXPECT_EQ(plan.rules[0].kind, core::RuleKind::kProtocol);
+  EXPECT_EQ(plan.rules[0].value, static_cast<std::uint16_t>(net::IpProto::kUdp));
+}
+
+TEST(RuleSynthesizerTest, TcpDominantFallbackPicksTcp) {
+  TrafficProfile p;
+  p.total_mbps = 900.0;
+  p.tcp_mbps = 850.0;  // SYN-flood-ish: no UDP signature available.
+  p.udp_mbps = 50.0;
+  p.baseline_mbps = 50.0;
+  p.udp_window_bytes = 0;
+  const auto plan = RuleSynthesizer().synthesize(p, 8);
+  ASSERT_EQ(plan.rules.size(), 1u);
+  EXPECT_TRUE(plan.fallback_proto);
+  EXPECT_EQ(plan.rules[0].value, static_cast<std::uint16_t>(net::IpProto::kTcp));
+}
+
+TEST(RuleSynthesizerTest, NeverEmitsDropAll) {
+  // Unexplainable excess (dispersed ports, no dominant protocol): the
+  // synthesizer refuses to blackhole the whole prefix — benign collateral is
+  // the invariant. Best effort may be empty, but never kDropAll.
+  TrafficProfile p;
+  p.total_mbps = 1'000.0;
+  p.udp_mbps = 500.0;
+  p.tcp_mbps = 500.0;
+  p.baseline_mbps = 50.0;
+  p.udp_window_bytes = 10'000'000;
+  p.udp_src_port_entropy = 0.99;
+  const auto plan = RuleSynthesizer().synthesize(p, 8);
+  for (const auto& rule : plan.rules) {
+    EXPECT_NE(rule.kind, core::RuleKind::kDropAll);
+  }
+}
+
+}  // namespace
+}  // namespace stellar::detect

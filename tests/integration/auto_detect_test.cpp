@@ -1,0 +1,153 @@
+// Closed-loop automated mitigation on a mid-size IXP: the detect/ engine
+// watches the victim's delivered traffic, and the test asserts the full
+// detect -> synthesize -> signal -> install -> withdraw cycle without any
+// manual signal injection (miniature of bench/fig10c_auto_detect).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/stellar.hpp"
+#include "detect/engine.hpp"
+#include "net/ports.hpp"
+#include "traffic/generators.hpp"
+
+namespace stellar {
+namespace {
+
+net::Prefix4 P4(const char* text) { return net::Prefix4::Parse(text).value(); }
+constexpr bgp::Asn kVictimAsn = 63'000;
+
+struct Scenario {
+  sim::EventQueue queue;
+  std::unique_ptr<ixp::Ixp> ixp;
+  ixp::MemberRouter* victim;
+  std::unique_ptr<traffic::AmplificationAttackGenerator> attack;
+  std::unique_ptr<traffic::WebTrafficGenerator> web;
+  net::IPv4Address target{net::IPv4Address(100, 10, 10, 10)};
+  double epoch_s = -1.0;  ///< Sim-clock time of experiment t=0 (see run_bin).
+
+  Scenario(double attack_mbps, double attack_start_s, double attack_end_s) {
+    ixp::LargeIxpParams params;
+    params.member_count = 60;
+    params.seed = 99;
+    ixp = ixp::MakeLargeIxp(queue, params);
+    ixp::MemberSpec v;
+    v.asn = kVictimAsn;
+    v.port_capacity_mbps = 10'000.0;
+    v.address_space = P4("100.10.10.0/24");
+    victim = &ixp->add_member(v);
+    ixp->settle(60.0);
+
+    auto sources = ixp->source_members(kVictimAsn);
+    auto attack_config =
+        traffic::BooterNtpAttack(target, attack_mbps, attack_start_s, attack_end_s);
+    attack_config.source_members = 40;
+    attack = std::make_unique<traffic::AmplificationAttackGenerator>(attack_config,
+                                                                     sources, 1234);
+    traffic::WebTrafficGenerator::Config web_config;
+    web_config.target = target;
+    web_config.rate_mbps = 60.0;
+    std::vector<traffic::SourceMember> web_sources(
+        sources.begin(), sources.begin() + std::min<std::size_t>(10, sources.size()));
+    web = std::make_unique<traffic::WebTrafficGenerator>(web_config, web_sources, 4321);
+  }
+
+  struct BinOutcome {
+    double attack_mbps = 0.0;
+    double benign_mbps = 0.0;
+    std::vector<net::FlowSample> delivered;
+  };
+
+  /// Runs one bin through the fabric and feeds the delivered stream to the
+  /// system's observers. Bin time t is anchored to the sim clock at the first
+  /// call (construction already consumed sim time settling sessions).
+  BinOutcome run_bin(core::StellarSystem& system, double t, double bin_s = 20.0) {
+    if (epoch_s < 0.0) epoch_s = queue.now().count();
+    queue.run_until(sim::Seconds(epoch_s + t));
+    std::vector<net::FlowSample> offered = web->bin(t, bin_s);
+    for (auto& s : attack->bin(t, bin_s)) offered.push_back(s);
+    auto report = ixp->deliver_bin(offered, bin_s);
+    BinOutcome out;
+    for (const auto& f : report.delivered) {
+      if (f.key.proto == net::IpProto::kUdp && f.key.src_port == net::kPortNtp) {
+        out.attack_mbps += f.mbps(bin_s);
+      } else {
+        out.benign_mbps += f.mbps(bin_s);
+      }
+    }
+    out.delivered = std::move(report.delivered);
+    system.observe_bin(out.delivered, t, bin_s);
+    return out;
+  }
+};
+
+TEST(AutoDetectTest, ClosedLoopDetectsMitigatesAndWithdraws) {
+  Scenario scenario(1'000.0, 100.0, 400.0);
+  core::StellarSystem system(*scenario.ixp);
+  detect::AutoMitigator::Config cfg;
+  cfg.shape_rate_mbps = 200.0;
+  cfg.escalate_after_s = 40.0;
+  cfg.withdraw_quiet_s = 40.0;
+  auto& mitigator = detect::EnableAutoMitigation(system, kVictimAsn, cfg);
+  EXPECT_EQ(system.observer_count(), 1u);
+
+  double peak = 0.0;
+  double min_during_attack = 1e9;
+  double benign_during_mitigation = 0.0;
+  int mitigated_bins = 0;
+  for (double t = 0.0; t <= 600.0; t += 20.0) {
+    const auto bin = scenario.run_bin(system, t);
+    if (t < 100.0) {
+      EXPECT_EQ(mitigator.stats().signals_sent, 0u)
+          << "no signal before the attack, t=" << t;
+    }
+    if (t >= 100.0 && t < 400.0) {
+      peak = std::max(peak, bin.attack_mbps);
+      min_during_attack = std::min(min_during_attack, bin.attack_mbps);
+      if (mitigator.mitigation(scenario.target)) {
+        benign_during_mitigation += bin.benign_mbps;
+        ++mitigated_bins;
+      }
+    }
+  }
+
+  const auto& stats = mitigator.stats();
+  EXPECT_EQ(stats.detections, 1u);
+  EXPECT_GE(stats.last_detection_s, 100.0);
+  EXPECT_LE(stats.last_detection_s, 200.0) << "detection should take a few bins";
+  EXPECT_GE(stats.rules_emitted, 1u);
+  EXPECT_GE(stats.escalations, 1u) << "persistent attack escalates shape -> drop";
+  EXPECT_GT(peak, 500.0);
+  EXPECT_LT(min_during_attack, 0.05 * peak) << "drop phase zeroes the attack";
+  ASSERT_GT(mitigated_bins, 0);
+  EXPECT_GT(benign_during_mitigation / mitigated_bins, 30.0)
+      << "benign traffic must keep flowing under mitigation";
+  EXPECT_EQ(stats.withdrawals, 1u) << "rules come out once the attack ends";
+  EXPECT_FALSE(mitigator.mitigation(scenario.target).has_value());
+  // Anti-flap invariant: one shape signal + one escalation, nothing more.
+  EXPECT_LE(stats.signals_sent, 2 * stats.detections + stats.escalations);
+}
+
+TEST(AutoDetectTest, BenignTrafficNeverSignals) {
+  // Two hours of benign-only bins: zero signals, zero rules (the
+  // false-positive budget of the detection loop is exactly zero here).
+  Scenario scenario(0.0, 1e9, 2e9);
+  core::StellarSystem system(*scenario.ixp);
+  auto& mitigator = detect::EnableAutoMitigation(system, kVictimAsn, {});
+  for (double t = 0.0; t <= 7'200.0; t += 20.0) {
+    scenario.run_bin(system, t);
+  }
+  EXPECT_EQ(mitigator.stats().signals_sent, 0u);
+  EXPECT_EQ(mitigator.stats().detections, 0u);
+  EXPECT_TRUE(system.controller().desired().empty());
+}
+
+TEST(AutoDetectTest, UnknownMemberAsnThrows) {
+  Scenario scenario(0.0, 1e9, 2e9);
+  core::StellarSystem system(*scenario.ixp);
+  EXPECT_THROW(detect::EnableAutoMitigation(system, 64'999, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stellar

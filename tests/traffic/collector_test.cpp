@@ -37,6 +37,14 @@ TEST(ServicePortTest, UnknownPortsUseMinimum) {
   EXPECT_EQ(ServicePort(Sample(0, net::IpProto::kUdp, 40000, 30000, 1).key), 30000);
 }
 
+TEST(ServicePortTest, BothPortsKnownPrefersSource) {
+  // An NTP response towards an HTTPS port: both sides are well-known, and
+  // the source side wins — amplification responses are response streams, so
+  // the reflector's service port is the signature.
+  EXPECT_EQ(ServicePort(Sample(0, net::IpProto::kUdp, 123, 443, 1).key), 123);
+  EXPECT_EQ(ServicePort(Sample(0, net::IpProto::kTcp, 443, 123, 1).key), 443);
+}
+
 TEST(FlowCollectorTest, BinsByTime) {
   FlowCollector c(60.0);
   c.ingest(Sample(10.0, net::IpProto::kTcp, 50000, 443, 7'500'000));   // 1 Mbps over 60 s.
@@ -72,6 +80,35 @@ TEST(FlowCollectorTest, WindowBoundariesAreHalfOpen) {
   EXPECT_EQ(c.total_bytes(0.0, 10.0), 100u);
   EXPECT_EQ(c.total_bytes(0.0, 20.0), 300u);
   EXPECT_EQ(c.total_bytes(10.0, 20.0), 200u);
+}
+
+TEST(FlowCollectorTest, SamplesOnBinEdgesLandInLaterBin) {
+  // A sample at exactly t = k * bin_s opens bin k: it is excluded from
+  // [.., k*bin_s) and included in [k*bin_s, ..). Windows aligned to bin
+  // edges therefore partition the stream with no double counting.
+  FlowCollector c(10.0);
+  c.ingest(Sample(0.0, net::IpProto::kUdp, 123, 1, 1));
+  c.ingest(Sample(10.0, net::IpProto::kUdp, 123, 1, 2));
+  c.ingest(Sample(20.0, net::IpProto::kUdp, 123, 1, 4));
+  EXPECT_EQ(c.total_bytes(0.0, 10.0), 1u);
+  EXPECT_EQ(c.total_bytes(10.0, 20.0), 2u);
+  EXPECT_EQ(c.total_bytes(20.0, 30.0), 4u);
+  EXPECT_EQ(c.total_bytes(0.0, 30.0), 7u);
+  // A window starting mid-bin snaps to that bin's start (bins are atomic).
+  EXPECT_EQ(c.total_bytes(15.0, 30.0), 6u);
+}
+
+TEST(FlowCollectorTest, EmptyWindowAggregatesAcrossAllQueries) {
+  FlowCollector c(10.0);
+  c.ingest(Sample(100.0, net::IpProto::kUdp, 123, 1, 50));
+  // A window strictly before any data: every aggregate must be empty/zero,
+  // including the ones EmptyWindowsReturnZeros does not cover.
+  EXPECT_TRUE(c.udp_src_port_shares(0.0, 50.0).empty());
+  EXPECT_TRUE(c.top_service_ports(0.0, 50.0, 5).empty());
+  EXPECT_EQ(c.distinct_peers(0.0, 50.0), 0u);
+  EXPECT_EQ(c.peers_at(0.0), 0u);
+  // Degenerate window [t, t): nothing qualifies.
+  EXPECT_EQ(c.total_bytes(100.0, 100.0), 0u);
 }
 
 TEST(FlowCollectorTest, UdpSrcPortShares) {

@@ -19,3 +19,8 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+# Closed-loop smoke test: the automated detection bench (detect -> synthesize
+# -> signal -> install -> withdraw) must succeed end-to-end under the
+# sanitizers; it exits non-zero if any stage of the loop fails.
+"$BUILD_DIR"/bench/fig10c_auto_detect --smoke
