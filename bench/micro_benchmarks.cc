@@ -13,8 +13,10 @@
 #include "core/signal.hpp"
 #include "filter/qos.hpp"
 #include "filter/tcam.hpp"
+#include "bgp/session.hpp"
 #include "ixp/fabric.hpp"
 #include "net/ports.hpp"
+#include "sim/fault.hpp"
 #include "traffic/collector.hpp"
 #include "util/rng.hpp"
 
@@ -273,5 +275,30 @@ void BM_CountMinSketchAdd(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CountMinSketchAdd);
+
+void BM_FaultyLinkOverhead(benchmark::State& state) {
+  // Cost of one message through an Endpoint link, bare (arg 0) vs wrapped by
+  // a FaultInjector with an all-zero fault plan (arg 1). The injector must be
+  // close to free when no faults are configured, so chaos-capable builds can
+  // leave the hook armed without skewing timing-sensitive experiments.
+  const bool wrapped = state.range(0) != 0;
+  sim::EventQueue queue;
+  std::unique_ptr<sim::FaultInjector> injector;
+  if (wrapped) {
+    injector = std::make_unique<sim::FaultInjector>(queue, sim::FaultPlan{});
+    injector->arm();
+  }
+  auto [ea, eb] = bgp::MakeLink(queue);
+  std::uint64_t received = 0;
+  eb->set_receive_handler([&](std::span<const std::uint8_t>) { ++received; });
+  const std::vector<std::uint8_t> payload(64, 0xAB);
+  for (auto _ : state) {
+    ea->send(payload);
+    queue.run();  // Drain the delivery event.
+  }
+  benchmark::DoNotOptimize(received);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultyLinkOverhead)->Arg(0)->Arg(1);
 
 }  // namespace

@@ -9,11 +9,24 @@ namespace stellar::bgp {
 // Endpoint / Link.
 
 void Endpoint::send(std::vector<std::uint8_t> bytes) {
-  if (closed_) return;
   auto peer = peer_.lock();
-  if (!peer) return;
-  queue_->schedule_after(latency_, [peer, data = std::move(bytes)] {
-    if (!peer->closed_ && peer->on_receive_) peer->on_receive_(data);
+  if (closed_ || !peer || peer->closed_) {
+    ++stats_.sends_after_close;
+    stats_.dropped_bytes += bytes.size();
+    return;
+  }
+  sim::Duration delay = latency_;
+  if (fault_filter_ && !fault_filter_(bytes, delay)) {
+    stats_.dropped_bytes += bytes.size();  // Injected drop.
+    return;
+  }
+  queue_->schedule_after(delay, [self = self_, peer, data = std::move(bytes)] {
+    if (peer->closed_ || !peer->on_receive_) {
+      // Closed while the bytes were in flight: account them as lost.
+      if (auto s = self.lock()) s->stats_.dropped_bytes += data.size();
+      return;
+    }
+    peer->on_receive_(data);
   });
 }
 
@@ -29,6 +42,16 @@ void Endpoint::close() {
   }
 }
 
+namespace {
+LinkHook g_link_hook;
+}  // namespace
+
+LinkHook SetLinkHook(LinkHook hook) {
+  LinkHook previous = std::move(g_link_hook);
+  g_link_hook = std::move(hook);
+  return previous;
+}
+
 std::pair<std::shared_ptr<Endpoint>, std::shared_ptr<Endpoint>> MakeLink(sim::EventQueue& queue,
                                                                          sim::Duration latency) {
   auto a = std::make_shared<Endpoint>();
@@ -37,8 +60,11 @@ std::pair<std::shared_ptr<Endpoint>, std::shared_ptr<Endpoint>> MakeLink(sim::Ev
   b->queue_ = &queue;
   a->latency_ = latency;
   b->latency_ = latency;
+  a->self_ = a;
+  b->self_ = b;
   a->peer_ = b;
   b->peer_ = a;
+  if (g_link_hook) g_link_hook(a, b);
   return {a, b};
 }
 

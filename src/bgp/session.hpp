@@ -28,8 +28,14 @@ class Endpoint {
  public:
   using ReceiveHandler = std::function<void(std::span<const std::uint8_t>)>;
   using CloseHandler = std::function<void()>;
+  /// Per-message fault hook (see sim/fault.hpp): may mutate the bytes
+  /// (corruption) or add extra one-way delay; returning false drops the
+  /// message entirely. Called once per send() on an open link.
+  using FaultFilter = std::function<bool(std::vector<std::uint8_t>& bytes,
+                                         sim::Duration& extra_delay)>;
 
   /// Sends bytes to the peer endpoint; they arrive after the link latency.
+  /// On a closed link (either side) this is a counted no-op.
   void send(std::vector<std::uint8_t> bytes);
   /// Closes both directions; the peer's close handler fires after latency.
   void close();
@@ -37,6 +43,18 @@ class Endpoint {
 
   void set_receive_handler(ReceiveHandler h) { on_receive_ = std::move(h); }
   void set_close_handler(CloseHandler h) { on_close_ = std::move(h); }
+  void set_fault_filter(FaultFilter f) { fault_filter_ = std::move(f); }
+
+  struct Stats {
+    /// send() calls attempted after this side closed or the peer was
+    /// closed/destroyed — the bytes never left the host.
+    std::uint64_t sends_after_close = 0;
+    /// Total payload bytes that never reached the peer's receive handler
+    /// (sends after close, in-flight bytes arriving at a closed peer, and
+    /// fault-injector drops).
+    std::uint64_t dropped_bytes = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
   friend std::pair<std::shared_ptr<Endpoint>, std::shared_ptr<Endpoint>> MakeLink(
@@ -44,15 +62,25 @@ class Endpoint {
 
   sim::EventQueue* queue_ = nullptr;
   sim::Duration latency_{0.0};
+  std::weak_ptr<Endpoint> self_;  ///< For stats updates from queued events.
   std::weak_ptr<Endpoint> peer_;
   ReceiveHandler on_receive_;
   CloseHandler on_close_;
+  FaultFilter fault_filter_;
   bool closed_ = false;
+  Stats stats_;
 };
 
 /// Creates a connected endpoint pair with the given one-way latency.
 std::pair<std::shared_ptr<Endpoint>, std::shared_ptr<Endpoint>> MakeLink(
     sim::EventQueue& queue, sim::Duration latency = sim::Millis(1.0));
+
+/// Observation hook for every link MakeLink creates (fault injection, link
+/// telemetry). Single-threaded simulation-global state: at most one hook is
+/// active; pass nullptr to uninstall. Returns the previously installed hook.
+using LinkHook = std::function<void(const std::shared_ptr<Endpoint>&,
+                                    const std::shared_ptr<Endpoint>&)>;
+LinkHook SetLinkHook(LinkHook hook);
 
 enum class SessionState : std::uint8_t {
   kIdle,

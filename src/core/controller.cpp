@@ -17,24 +17,94 @@ BlackholingController::BlackholingController(sim::EventQueue& queue,
       config_(config),
       directory_(std::move(directory)),
       portal_(portal) {
+  // One-shot transport: hand out the given endpoint on the first dial; a
+  // zero-retry policy keeps the classic fail-safe-only behaviour.
+  auto handed_out = std::make_shared<std::shared_ptr<bgp::Endpoint>>(std::move(transport));
+  bgp::ReconnectPolicy one_shot;
+  one_shot.max_retries = 0;
+  init_session([handed_out]() { return std::exchange(*handed_out, nullptr); }, one_shot);
+}
+
+BlackholingController::BlackholingController(sim::EventQueue& queue, TransportFactory factory,
+                                             bgp::ReconnectPolicy policy, Config config,
+                                             PortDirectory directory, const RulePortal* portal)
+    : queue_(queue),
+      config_(config),
+      directory_(std::move(directory)),
+      portal_(portal) {
+  init_session(std::move(factory), policy);
+}
+
+BlackholingController::~BlackholingController() { *alive_ = false; }
+
+void BlackholingController::init_session(TransportFactory factory,
+                                         bgp::ReconnectPolicy policy) {
   bgp::SessionConfig session_config;
   session_config.local_asn = config_.ixp_asn;  // iBGP with the route server.
   session_config.router_id = net::IPv4Address(10, 99, 0, 2);
   session_config.add_path_rx = config_.use_add_path;  // See all paths, bypass best-path.
-  session_ = std::make_unique<bgp::Session>(queue_, std::move(transport), session_config);
-  session_->set_update_handler([this](const bgp::UpdateMessage& u) { on_update(u); });
+  reconnector_ = std::make_unique<bgp::ReconnectingSession>(queue_, std::move(factory),
+                                                            session_config, policy);
+  reconnector_->set_update_handler([this](const bgp::UpdateMessage& u) { on_update(u); });
   // Fail-safe (paper §4.1.2): if the signaling path dies, fall back to
   // simple forwarding of all traffic — stale filters must not strand a
   // member once it can no longer withdraw them.
-  session_->set_state_handler([this](bgp::SessionState state) {
+  reconnector_->set_state_handler([this](bgp::SessionState state) {
     if (state != bgp::SessionState::kClosed) return;
     ++stats_.failsafe_flushes;
     rib_.clear();
     process();  // Emits removals for everything previously desired.
   });
-  session_->start();
+  // Each re-establishment resyncs the RIB (the route server replays it and
+  // answers our ROUTE-REFRESH), then the reconciliation audit squares the
+  // data plane with the recomputed desired set.
+  reconnector_->set_established_handler([this](bgp::Session& session) {
+    if (reconnector_->stats().reconnects == 0) return;  // First dial: nothing to heal.
+    session.request_route_refresh(bgp::kAfiIPv4);
+    queue_.schedule_after(sim::Seconds(config_.reconcile_delay_s),
+                          [this, alive = alive_] {
+                            if (!*alive) return;
+                            reconcile();
+                          });
+  });
+  reconnector_->start();
   processor_ = std::make_unique<sim::PeriodicTask>(
       queue_, sim::Seconds(config_.process_interval_s), [this] { process(); });
+}
+
+BlackholingController::ReconcileReport BlackholingController::reconcile() {
+  ReconcileReport report;
+  process();  // Bring desired_ up to date with the (resynced) RIB first.
+  if (!installed_view_) return report;
+  ++stats_.reconciliations;
+  std::set<std::string> installed;
+  for (auto& key : installed_view_()) installed.insert(std::move(key));
+
+  // Orphans: realized in the data plane, no longer desired. The compilers
+  // resolve removals by key alone, so no port/rule payload is needed.
+  for (const auto& key : installed) {
+    if (desired_.contains(key)) continue;
+    ConfigChange change;
+    change.op = ConfigChange::Op::kRemove;
+    change.key = key;
+    ++report.orphans_removed;
+    ++stats_.orphans_removed;
+    ++stats_.removals_emitted;
+    if (sink_) sink_(change);
+  }
+
+  // Missing: desired but absent from the data plane (lost to a crash or a
+  // dead-lettered install) — reissue the install.
+  for (const auto& [key, change] : desired_) {
+    if (installed.contains(key)) continue;
+    ConfigChange install = change;
+    install.op = ConfigChange::Op::kInstall;
+    ++report.missing_reinstalled;
+    ++stats_.missing_reinstalled;
+    ++stats_.installs_emitted;
+    if (sink_) sink_(install);
+  }
+  return report;
 }
 
 void BlackholingController::on_update(const bgp::UpdateMessage& update) {

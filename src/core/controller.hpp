@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "bgp/reconnect.hpp"
 #include "bgp/rib.hpp"
 #include "bgp/session.hpp"
 #include "core/portal.hpp"
@@ -42,6 +43,8 @@ struct ConfigChange {
   std::string key;
   /// Set by the network manager when the change enters its queue.
   double enqueued_at_s = 0.0;
+  /// Apply attempts consumed so far (network-manager retry bookkeeping).
+  int attempt = 0;
 
   [[nodiscard]] std::string str() const;
 };
@@ -55,6 +58,13 @@ class BlackholingController {
   /// Resolves a member ASN to its IXP port (nullopt: not a member).
   using PortDirectory = std::function<std::optional<PortDirectoryEntry>(bgp::Asn)>;
   using ChangeSink = std::function<void(ConfigChange)>;
+  /// Fresh transport per dial (RouteServer::accept_controller), for
+  /// self-healing reconnects after a session loss.
+  using TransportFactory = std::function<std::shared_ptr<bgp::Endpoint>()>;
+  /// Change keys currently (or imminently) realized in the data plane:
+  /// compiler-installed rules projected over the manager's in-flight queue.
+  /// The reconciliation audit diffs this against desired().
+  using InstalledView = std::function<std::vector<std::string>()>;
 
   struct Config {
     /// The IXP's ASN. Signals are accepted in the two-octet-AS extended
@@ -69,17 +79,42 @@ class BlackholingController {
     /// the ability to honor diverging rules for one prefix from different
     /// members (paper §4.3) — kept switchable for the ablation bench.
     bool use_add_path = true;
+    /// Settle time between a session re-establishment (with its ROUTE-REFRESH
+    /// resync) and the automatic reconciliation audit.
+    double reconcile_delay_s = 5.0;
   };
 
   /// `transport` is the endpoint returned by RouteServer::accept_controller().
+  /// One-shot session: a closed signaling path stays closed (fail-safe only).
   BlackholingController(sim::EventQueue& queue, std::shared_ptr<bgp::Endpoint> transport,
                         Config config, PortDirectory directory, const RulePortal* portal);
 
+  /// Self-healing variant: dials through `factory` and re-dials per `policy`
+  /// after unexpected session loss; each re-establishment triggers a
+  /// ROUTE-REFRESH resync followed by a reconciliation audit.
+  BlackholingController(sim::EventQueue& queue, TransportFactory factory,
+                        bgp::ReconnectPolicy policy, Config config, PortDirectory directory,
+                        const RulePortal* portal);
+  ~BlackholingController();
+  BlackholingController(const BlackholingController&) = delete;
+  BlackholingController& operator=(const BlackholingController&) = delete;
+
   void set_change_sink(ChangeSink sink) { sink_ = std::move(sink); }
+  void set_installed_view(InstalledView view) { installed_view_ = std::move(view); }
 
   /// Recomputes the desired rule set from the RIB and emits the differences.
   /// Called periodically; exposed for tests and for immediate reaction.
   void process();
+
+  /// Post-resync reconciliation audit: diffs the data plane (installed view)
+  /// against the desired set, removing orphans and reinstalling missing
+  /// rules. Runs automatically after reconnect resyncs; exposed for tests
+  /// and for quiescence checks.
+  struct ReconcileReport {
+    std::uint64_t orphans_removed = 0;
+    std::uint64_t missing_reinstalled = 0;
+  };
+  ReconcileReport reconcile();
 
   struct Stats {
     std::uint64_t updates_processed = 0;
@@ -90,12 +125,18 @@ class BlackholingController {
     std::uint64_t removals_emitted = 0;
     /// Times the fail-safe flushed all rules after losing the route server.
     std::uint64_t failsafe_flushes = 0;
+    // Reconciliation audit outcomes (post-resync convergence observability).
+    std::uint64_t reconciliations = 0;
+    std::uint64_t orphans_removed = 0;
+    std::uint64_t missing_reinstalled = 0;
   };
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] const bgp::Rib& rib() const { return rib_; }
-  [[nodiscard]] bgp::Session& session() { return *session_; }
+  [[nodiscard]] bgp::Session& session() { return *reconnector_->session(); }
+  /// Recovery state machine around the session (reconnect/damping stats).
+  [[nodiscard]] bgp::ReconnectingSession& reconnector() { return *reconnector_; }
   /// Currently desired (admitted) rules, keyed by change identity.
   [[nodiscard]] const std::map<std::string, ConfigChange>& desired() const { return desired_; }
 
@@ -110,12 +151,13 @@ class BlackholingController {
   /// Derives the rules a single RIB route asks for.
   [[nodiscard]] std::vector<std::pair<std::string, DesiredRule>> derive_rules(
       const bgp::Route& route);
+  void init_session(TransportFactory factory, bgp::ReconnectPolicy policy);
 
   sim::EventQueue& queue_;
   Config config_;
   PortDirectory directory_;
   const RulePortal* portal_;
-  std::unique_ptr<bgp::Session> session_;
+  std::unique_ptr<bgp::ReconnectingSession> reconnector_;
   std::unique_ptr<sim::PeriodicTask> processor_;
   bgp::Rib rib_;
   /// Signal routes already counted in stats (process() re-derives every
@@ -124,6 +166,9 @@ class BlackholingController {
   /// key -> change currently believed installed (or queued to install).
   std::map<std::string, ConfigChange> desired_;
   ChangeSink sink_;
+  InstalledView installed_view_;
+  /// Invalidates scheduled reconciliations when the controller dies.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   Stats stats_;
 };
 

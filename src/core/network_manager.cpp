@@ -1,5 +1,7 @@
 #include "core/network_manager.hpp"
 
+#include <algorithm>
+
 namespace stellar::core {
 
 // ---------------------------------------------------------------------------
@@ -9,6 +11,11 @@ util::Result<void> QosConfigCompiler::apply(const ConfigChange& change) {
   if (change.op == ConfigChange::Op::kInstall) {
     auto id = router_.install_rule(change.port, change.rule);
     if (!id.ok()) return id.error();
+    // Idempotent upsert: a reinstall for a known key (retry after a partial
+    // failure, reconciliation replay) must not leak the old data-plane rule.
+    if (const auto it = installed_.find(change.key); it != installed_.end()) {
+      router_.remove_rule(it->second.first, it->second.second);
+    }
     installed_[change.key] = {change.port, *id};
     return {};
   }
@@ -48,6 +55,10 @@ util::Result<void> SdnConfigCompiler::apply(const ConfigChange& change) {
     entry.meter_rate_mbps = change.rule.shape_rate_mbps;
     auto added = table_.add(std::move(entry));
     if (!added.ok()) return added.error();
+    // Idempotent upsert: drop the superseded flow entry for this key.
+    if (const auto it = cookies_.find(change.key); it != cookies_.end()) {
+      table_.remove(it->second);
+    }
     cookies_[change.key] = next_cookie_ - 1;
     return {};
   }
@@ -70,13 +81,58 @@ util::Result<void> SdnConfigCompiler::apply(const ConfigChange& change) {
 NetworkManager::NetworkManager(sim::EventQueue& queue, ConfigCompiler& compiler, Config config)
     : queue_(queue),
       compiler_(compiler),
-      config_(config),
-      bucket_(config.rate_per_s, config.max_burst_size) {}
+      config_(std::move(config)),
+      bucket_(config_.rate_per_s, config_.max_burst_size) {
+  if (!config_.transient_classifier) {
+    config_.transient_classifier = DefaultTransientClassifier;
+  }
+  stats_.waiting_times_s = util::RingLog<double>(config_.stats_retained_samples);
+  stats_.failure_codes = util::RingLog<std::string>(config_.stats_retained_samples);
+}
 
 void NetworkManager::enqueue(ConfigChange change) {
   change.enqueued_at_s = queue_.now().count();
+  change.attempt = 0;
   pending_.push_back(std::move(change));
   schedule_drain();
+}
+
+std::vector<ConfigChange> NetworkManager::in_flight() const {
+  std::vector<ConfigChange> out(pending_.begin(), pending_.end());
+  for (const auto& [ticket, change] : backoff_changes_) out.push_back(change);
+  return out;
+}
+
+void NetworkManager::handle_failure(ConfigChange change, const util::Error& error) {
+  ++stats_.failed;
+  stats_.failure_codes.push_back(error.code);
+  const bool transient = config_.transient_classifier(error);
+  if (transient) {
+    ++stats_.transient_failures;
+  } else {
+    ++stats_.permanent_failures;
+  }
+  if (!transient || change.attempt >= config_.max_attempts) {
+    // Permanent, or the attempt budget is spent: dead-letter the change so
+    // operators can inspect what the hardware refused.
+    ++stats_.dead_lettered;
+    dead_letter_.push_back(std::move(change));
+    return;
+  }
+  // Transient: re-enter the rate-limited queue after an exponential backoff.
+  double backoff = config_.retry_backoff_s;
+  for (int i = 1; i < change.attempt; ++i) backoff *= config_.retry_backoff_multiplier;
+  backoff = std::min(backoff, config_.retry_backoff_max_s);
+  ++stats_.retries;
+  const std::uint64_t ticket = next_backoff_ticket_++;
+  backoff_changes_.emplace(ticket, std::move(change));
+  queue_.schedule_after(sim::Seconds(backoff), [this, ticket] {
+    const auto it = backoff_changes_.find(ticket);
+    if (it == backoff_changes_.end()) return;
+    pending_.push_back(std::move(it->second));
+    backoff_changes_.erase(it);
+    schedule_drain();
+  });
 }
 
 void NetworkManager::schedule_drain() {
@@ -98,13 +154,17 @@ void NetworkManager::schedule_drain() {
     }
     ConfigChange change = std::move(pending_.front());
     pending_.pop_front();
-    stats_.waiting_times_s.push_back(now_s - change.enqueued_at_s);
+    // Waiting time is recorded for the first attempt only: retries would
+    // double-count a change and distort the Fig. 10b percentiles.
+    if (change.attempt == 0) {
+      stats_.waiting_times_s.push_back(now_s - change.enqueued_at_s);
+    }
+    ++change.attempt;
     auto applied = compiler_.apply(change);
     if (applied.ok()) {
       ++stats_.applied;
     } else {
-      ++stats_.failed;
-      stats_.failure_codes.push_back(applied.error().code);
+      handle_failure(std::move(change), applied.error());
     }
     schedule_drain();
   });

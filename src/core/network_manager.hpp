@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -22,6 +23,7 @@
 #include "filter/token_bucket.hpp"
 #include "sim/event_queue.hpp"
 #include "util/result.hpp"
+#include "util/ring_log.hpp"
 
 namespace stellar::core {
 
@@ -45,6 +47,15 @@ class QosConfigCompiler final : public ConfigCompiler {
   /// Data-plane rule id for an installed change key (telemetry lookups).
   [[nodiscard]] std::optional<filter::RuleId> rule_id(const std::string& key) const;
 
+  /// Change keys with a live data-plane rule — the "installed" side of the
+  /// controller's reconciliation audit.
+  [[nodiscard]] std::vector<std::string> installed_keys() const {
+    std::vector<std::string> keys;
+    keys.reserve(installed_.size());
+    for (const auto& [key, entry] : installed_) keys.push_back(key);
+    return keys;
+  }
+
  private:
   filter::EdgeRouter& router_;
   std::map<std::string, std::pair<filter::PortId, filter::RuleId>> installed_;
@@ -66,12 +77,34 @@ class SdnConfigCompiler final : public ConfigCompiler {
 
 class NetworkManager {
  public:
+  /// Decides whether a compiler failure is worth retrying. Transient codes
+  /// (device busy, injected chaos) heal on their own; permanent ones
+  /// (unknown key, resource limits) never will.
+  using TransientClassifier = std::function<bool(const util::Error&)>;
+
+  /// Default taxonomy: codes under the "transient." prefix are retryable,
+  /// everything else is permanent.
+  static bool DefaultTransientClassifier(const util::Error& error) {
+    return error.code.rfind("transient.", 0) == 0;
+  }
+
   struct Config {
     /// Long-term configuration-change rate limit (paper Fig. 10b evaluates
     /// 4/s and 5/s against the measured sustainable 4.33/s).
     double rate_per_s = 4.33;
     /// Maximum Burst Size: changes that may be applied back-to-back.
     double max_burst_size = 5.0;
+    /// Total apply attempts per change (first try + retries). Transient
+    /// failures re-enter the rate-limited queue after a backoff; once the
+    /// budget is exhausted the change is dead-lettered.
+    int max_attempts = 4;
+    double retry_backoff_s = 2.0;  ///< Delay before the first retry.
+    double retry_backoff_multiplier = 2.0;
+    double retry_backoff_max_s = 30.0;
+    /// nullptr selects DefaultTransientClassifier.
+    TransientClassifier transient_classifier;
+    /// Retained-sample cap for waiting_times_s / failure_codes.
+    std::size_t stats_retained_samples = util::RingLog<double>::kDefaultCapacity;
   };
 
   NetworkManager(sim::EventQueue& queue, ConfigCompiler& compiler, Config config);
@@ -81,25 +114,41 @@ class NetworkManager {
 
   struct Stats {
     std::uint64_t applied = 0;
-    std::uint64_t failed = 0;  ///< Compiler rejections (hardware limits).
-    /// Queueing delay of every applied/failed change: the "time from
-    /// blackholing signal to configuration" of Fig. 10b.
-    std::vector<double> waiting_times_s;
-    std::vector<std::string> failure_codes;
+    std::uint64_t failed = 0;  ///< Failed apply attempts (any class).
+    std::uint64_t transient_failures = 0;
+    std::uint64_t permanent_failures = 0;
+    std::uint64_t retries = 0;        ///< Re-enqueues after transient failures.
+    std::uint64_t dead_lettered = 0;  ///< Changes abandoned permanently.
+    /// Queueing delay of every change's first attempt: the "time from
+    /// blackholing signal to configuration" of Fig. 10b. Bounded ring log —
+    /// total() counts all samples, evicted() the ones aged out of the window.
+    util::RingLog<double> waiting_times_s;
+    util::RingLog<std::string> failure_codes;
   };
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_depth_now(); }
+  /// Changes not yet applied (in flight through the token bucket or awaiting
+  /// a retry backoff) — the projection reconciliation audits against.
+  [[nodiscard]] std::vector<ConfigChange> in_flight() const;
+  /// Changes abandoned after exhausting their attempt budget or failing with
+  /// a permanent error; kept for operator inspection.
+  [[nodiscard]] const std::deque<ConfigChange>& dead_letter() const { return dead_letter_; }
 
  private:
   [[nodiscard]] std::size_t queue_depth_now() const { return pending_.size(); }
   void schedule_drain();
+  void handle_failure(ConfigChange change, const util::Error& error);
 
   sim::EventQueue& queue_;
   ConfigCompiler& compiler_;
   Config config_;
   filter::TokenBucket bucket_;
   std::deque<ConfigChange> pending_;
+  std::deque<ConfigChange> dead_letter_;
+  /// Changes sitting out a retry backoff, keyed by ticket (for in_flight()).
+  std::map<std::uint64_t, ConfigChange> backoff_changes_;
+  std::uint64_t next_backoff_ticket_ = 0;
   bool drain_scheduled_ = false;
   double last_failed_drain_s_ = -1.0;
   Stats stats_;

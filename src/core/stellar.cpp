@@ -1,11 +1,18 @@
 #include "core/stellar.hpp"
 
+#include <set>
+
 namespace stellar::core {
 
 StellarSystem::StellarSystem(ixp::Ixp& ixp, Config config) : ixp_(ixp) {
   config.controller.ixp_asn = ixp.config().asn;
   compiler_ = std::make_unique<QosConfigCompiler>(ixp.edge_router());
-  manager_ = std::make_unique<NetworkManager>(ixp.queue(), *compiler_, config.manager);
+  ConfigCompiler* active_compiler = compiler_.get();
+  if (config.compiler_decorator) {
+    decorated_compiler_ = config.compiler_decorator(*compiler_);
+    if (decorated_compiler_) active_compiler = decorated_compiler_.get();
+  }
+  manager_ = std::make_unique<NetworkManager>(ixp.queue(), *active_compiler, config.manager);
 
   BlackholingController::PortDirectory directory =
       [&ixp](bgp::Asn asn) -> std::optional<BlackholingController::PortDirectoryEntry> {
@@ -15,10 +22,31 @@ StellarSystem::StellarSystem(ixp::Ixp& ixp, Config config) : ixp_(ixp) {
                                                      member->info().port_capacity_mbps};
   };
 
-  controller_ = std::make_unique<BlackholingController>(
-      ixp.queue(), ixp.route_server().accept_controller(), config.controller,
-      std::move(directory), &portal_);
+  if (config.controller_reconnect) {
+    controller_ = std::make_unique<BlackholingController>(
+        ixp.queue(), [&ixp] { return ixp.route_server().accept_controller(); },
+        *config.controller_reconnect, config.controller, std::move(directory), &portal_);
+  } else {
+    controller_ = std::make_unique<BlackholingController>(
+        ixp.queue(), ixp.route_server().accept_controller(), config.controller,
+        std::move(directory), &portal_);
+  }
   controller_->set_change_sink([this](ConfigChange change) { manager_->enqueue(std::move(change)); });
+  // Reconciliation's view of the data plane: rules the compiler has realized,
+  // projected over what is still in flight through the rate limiter — a
+  // queued install/remove is not an inconsistency, just latency.
+  controller_->set_installed_view([this] {
+    std::set<std::string> keys;
+    for (auto& key : compiler_->installed_keys()) keys.insert(std::move(key));
+    for (const auto& change : manager_->in_flight()) {
+      if (change.op == ConfigChange::Op::kInstall) {
+        keys.insert(change.key);
+      } else {
+        keys.erase(change.key);
+      }
+    }
+    return std::vector<std::string>(keys.begin(), keys.end());
+  });
 }
 
 std::vector<StellarSystem::TelemetryRecord> StellarSystem::telemetry(bgp::Asn member) const {

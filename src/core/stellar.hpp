@@ -4,7 +4,9 @@
 // policies) wired onto an Ixp (paper Fig. 5).
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -28,9 +30,21 @@ class TrafficObserver {
 
 class StellarSystem {
  public:
+  /// Wraps the QoS compiler before the network manager sees it — the hook
+  /// chaos tests use to inject transient apply() failures (sim::FlakyCompiler)
+  /// without the core depending on the fault library.
+  using CompilerDecorator =
+      std::function<std::unique_ptr<ConfigCompiler>(ConfigCompiler& inner)>;
+
   struct Config {
     BlackholingController::Config controller{};
     NetworkManager::Config manager{};
+    /// When set, the controller self-heals: it re-dials the route server
+    /// (fresh accept_controller() transport) with this backoff/damping
+    /// policy, resyncs, and runs the reconciliation audit. Unset keeps the
+    /// classic one-shot fail-safe behaviour.
+    std::optional<bgp::ReconnectPolicy> controller_reconnect;
+    CompilerDecorator compiler_decorator;
   };
 
   StellarSystem(ixp::Ixp& ixp, Config config);
@@ -70,6 +84,7 @@ class StellarSystem {
   ixp::Ixp& ixp_;
   RulePortal portal_;
   std::unique_ptr<QosConfigCompiler> compiler_;
+  std::unique_ptr<ConfigCompiler> decorated_compiler_;  ///< Optional wrapper.
   std::unique_ptr<NetworkManager> manager_;
   std::unique_ptr<BlackholingController> controller_;
   std::vector<std::shared_ptr<TrafficObserver>> observers_;

@@ -12,7 +12,23 @@ MemberRouter::MemberRouter(sim::EventQueue& queue, MemberInfo info,
       blackhole_next_hop_(blackhole_next_hop),
       blackhole_next_hop6_(blackhole_next_hop6) {}
 
+bgp::Session* MemberRouter::active_session() {
+  return reconnector_ ? reconnector_->session() : session_.get();
+}
+
+void MemberRouter::teardown_session() {
+  if (reconnector_) {
+    reconnector_->stop();
+    reconnector_.reset();
+  }
+  if (session_) {
+    session_->stop();
+    session_.reset();
+  }
+}
+
 void MemberRouter::connect(std::shared_ptr<bgp::Endpoint> transport) {
+  teardown_session();
   bgp::SessionConfig config;
   config.local_asn = info_.asn;
   config.router_id = info_.router_ip;
@@ -22,9 +38,47 @@ void MemberRouter::connect(std::shared_ptr<bgp::Endpoint> transport) {
   session_->start();
 }
 
+void MemberRouter::connect_resilient(bgp::ReconnectingSession::TransportFactory factory,
+                                     bgp::ReconnectPolicy policy) {
+  teardown_session();
+  bgp::SessionConfig config;
+  config.local_asn = info_.asn;
+  config.router_id = info_.router_ip;
+  config.announce_ipv6_unicast = info_.address_space6.has_value();
+  reconnector_ = std::make_unique<bgp::ReconnectingSession>(queue_, std::move(factory),
+                                                            config, policy);
+  reconnector_->set_update_handler([this](const bgp::UpdateMessage& u) { on_update(u); });
+  reconnector_->set_established_handler([this](bgp::Session& session) {
+    // Resync both directions on every establishment (including the first —
+    // connect_resilient may have replaced a live session, withdrawing our
+    // routes): ask for everything we may have missed, then replay everything
+    // the route server lost with our old session.
+    session.request_route_refresh(bgp::kAfiIPv4);
+    if (info_.address_space6) session.request_route_refresh(bgp::kAfiIPv6);
+    replay_announcements();
+  });
+  reconnector_->start();
+}
+
+void MemberRouter::replay_announcements() {
+  for (const auto& [prefix, attrs] : announced_) {
+    send_announce(prefix, attrs.communities, attrs.extended);
+  }
+  for (const auto& [prefix, attrs] : announced6_) {
+    send_announce6(prefix, attrs.communities, attrs.extended);
+  }
+}
+
 void MemberRouter::announce(const net::Prefix4& prefix, std::vector<bgp::Community> communities,
                             std::vector<bgp::ExtendedCommunity> extended) {
-  if (!session_) throw std::logic_error("MemberRouter: connect() before announcing");
+  if (!active_session()) throw std::logic_error("MemberRouter: connect() before announcing");
+  announced_[prefix] = AnnouncedAttrs{communities, extended};
+  send_announce(prefix, std::move(communities), std::move(extended));
+}
+
+void MemberRouter::send_announce(const net::Prefix4& prefix,
+                                 std::vector<bgp::Community> communities,
+                                 std::vector<bgp::ExtendedCommunity> extended) {
   bgp::UpdateMessage update;
   update.attrs.origin = bgp::Origin::kIgp;
   update.attrs.as_path = {{bgp::AsPathSegment::Type::kSequence, {info_.asn}}};
@@ -32,20 +86,28 @@ void MemberRouter::announce(const net::Prefix4& prefix, std::vector<bgp::Communi
   update.attrs.communities = std::move(communities);
   update.attrs.extended_communities = std::move(extended);
   update.announced.push_back(bgp::Nlri4{0, prefix});
-  session_->announce(std::move(update));
+  active_session()->announce(std::move(update));
 }
 
 void MemberRouter::withdraw(const net::Prefix4& prefix) {
-  if (!session_) throw std::logic_error("MemberRouter: connect() before announcing");
+  if (!active_session()) throw std::logic_error("MemberRouter: connect() before announcing");
+  announced_.erase(prefix);
   bgp::UpdateMessage update;
   update.withdrawn.push_back(bgp::Nlri4{0, prefix});
-  session_->announce(std::move(update));
+  active_session()->announce(std::move(update));
 }
 
 void MemberRouter::announce6(const net::Prefix6& prefix,
                              std::vector<bgp::Community> communities,
                              std::vector<bgp::ExtendedCommunity> extended) {
-  if (!session_) throw std::logic_error("MemberRouter: connect() before announcing");
+  if (!active_session()) throw std::logic_error("MemberRouter: connect() before announcing");
+  announced6_[prefix] = AnnouncedAttrs{communities, extended};
+  send_announce6(prefix, std::move(communities), std::move(extended));
+}
+
+void MemberRouter::send_announce6(const net::Prefix6& prefix,
+                                  std::vector<bgp::Community> communities,
+                                  std::vector<bgp::ExtendedCommunity> extended) {
   bgp::UpdateMessage update;
   update.attrs.origin = bgp::Origin::kIgp;
   update.attrs.as_path = {{bgp::AsPathSegment::Type::kSequence, {info_.asn}}};
@@ -65,16 +127,17 @@ void MemberRouter::announce6(const net::Prefix6& prefix,
   reach.next_hop = net::IPv6Address(nh);
   reach.nlri.push_back(prefix);
   update.attrs.mp_reach_ipv6 = std::move(reach);
-  session_->announce(std::move(update));
+  active_session()->announce(std::move(update));
 }
 
 void MemberRouter::withdraw6(const net::Prefix6& prefix) {
-  if (!session_) throw std::logic_error("MemberRouter: connect() before announcing");
+  if (!active_session()) throw std::logic_error("MemberRouter: connect() before announcing");
+  announced6_.erase(prefix);
   bgp::UpdateMessage update;
   bgp::MpUnreachIPv6 unreach;
   unreach.withdrawn.push_back(prefix);
   update.attrs.mp_unreach_ipv6 = std::move(unreach);
-  session_->announce(std::move(update));
+  active_session()->announce(std::move(update));
 }
 
 void MemberRouter::update_policy(MemberPolicy policy) {
@@ -94,11 +157,12 @@ void MemberRouter::update_policy(MemberPolicy policy) {
       }
     }
   }
-  if (session_ && session_->established()) {
+  bgp::Session* session = active_session();
+  if (session != nullptr && session->established()) {
     // Relaxed (or unchanged): ask the route server to re-send everything so
     // the new import policy sees routes it previously filtered.
-    session_->request_route_refresh(bgp::kAfiIPv4);
-    if (info_.address_space6) session_->request_route_refresh(bgp::kAfiIPv6);
+    session->request_route_refresh(bgp::kAfiIPv4);
+    if (info_.address_space6) session->request_route_refresh(bgp::kAfiIPv6);
   }
 }
 

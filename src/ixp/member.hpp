@@ -9,11 +9,13 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "bgp/reconnect.hpp"
 #include "bgp/rib.hpp"
 #include "bgp/session.hpp"
 #include "filter/tcam.hpp"
@@ -59,7 +61,18 @@ class MemberRouter {
                net::IPv6Address blackhole_next_hop6 = net::IPv6Address());
 
   /// Attaches the transport to the route server and starts the session.
+  /// Any previous session is stopped first.
   void connect(std::shared_ptr<bgp::Endpoint> transport);
+
+  /// Self-healing connect: dials through `factory` (typically another
+  /// RouteServer::accept_member call), re-dials with backoff + flap damping
+  /// after unexpected session loss, and on every re-establishment requests a
+  /// ROUTE-REFRESH and replays this router's own announcements — so a member
+  /// that flaps converges back to its pre-failure signaling state without
+  /// operator action. Announcements made through announce()/announce6() are
+  /// replayed; raw session()->announce() traffic is not tracked.
+  void connect_resilient(bgp::ReconnectingSession::TransportFactory factory,
+                         bgp::ReconnectPolicy policy);
 
   /// Announces a prefix to the route server with optional communities.
   void announce(const net::Prefix4& prefix, std::vector<bgp::Community> communities = {},
@@ -85,7 +98,11 @@ class MemberRouter {
   [[nodiscard]] const MemberInfo& info() const { return info_; }
   [[nodiscard]] const bgp::Rib& rib() const { return rib_; }
   [[nodiscard]] const bgp::Rib6& rib6() const { return rib6_; }
-  [[nodiscard]] bgp::Session* session() { return session_.get(); }
+  [[nodiscard]] bgp::Session* session() {
+    return reconnector_ ? reconnector_->session() : session_.get();
+  }
+  /// Non-null after connect_resilient(): the recovery state machine.
+  [[nodiscard]] bgp::ReconnectingSession* reconnector() { return reconnector_.get(); }
   [[nodiscard]] const std::set<net::Prefix4>& blackholed_prefixes() const { return blackholed_; }
   [[nodiscard]] const std::set<net::Prefix6>& blackholed6_prefixes() const {
     return blackholed6_;
@@ -94,12 +111,29 @@ class MemberRouter {
 
  private:
   void on_update(const bgp::UpdateMessage& update);
+  [[nodiscard]] bgp::Session* active_session();
+  void teardown_session();
+  /// Re-announces everything in announced_/announced6_ (post-reconnect).
+  void replay_announcements();
+  void send_announce(const net::Prefix4& prefix, std::vector<bgp::Community> communities,
+                     std::vector<bgp::ExtendedCommunity> extended);
+  void send_announce6(const net::Prefix6& prefix, std::vector<bgp::Community> communities,
+                      std::vector<bgp::ExtendedCommunity> extended);
+
+  /// What this router has told the route server (for replay on reconnect).
+  struct AnnouncedAttrs {
+    std::vector<bgp::Community> communities;
+    std::vector<bgp::ExtendedCommunity> extended;
+  };
 
   sim::EventQueue& queue_;
   MemberInfo info_;
   net::IPv4Address blackhole_next_hop_;
   net::IPv6Address blackhole_next_hop6_;
   std::unique_ptr<bgp::Session> session_;
+  std::unique_ptr<bgp::ReconnectingSession> reconnector_;
+  std::map<net::Prefix4, AnnouncedAttrs> announced_;
+  std::map<net::Prefix6, AnnouncedAttrs> announced6_;
   bgp::Rib rib_;                       ///< Accepted routes from the route server.
   bgp::Rib6 rib6_;
   std::set<net::Prefix4> blackholed_;  ///< Prefixes routed into the blackhole.

@@ -36,8 +36,25 @@ std::shared_ptr<bgp::Endpoint> RouteServer::accept_member(bgp::Asn member_asn) {
   session_config.router_id = config_.router_id;
   session_config.announce_ipv6_unicast = config_.irr6 != nullptr;
 
-  members_.push_back(MemberPeer{member_asn, nullptr, {}, {}});
-  const bgp::PeerId peer = static_cast<bgp::PeerId>(members_.size());  // Index + 1.
+  // A reconnecting member reuses its slot (stable PeerId across flaps, no
+  // unbounded members_ growth under session churn). Only a dead session may
+  // be replaced; a second concurrent session for an ASN gets its own slot.
+  std::size_t slot = members_.size();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i].asn == member_asn &&
+        (members_[i].session == nullptr || members_[i].session->state() == bgp::SessionState::kClosed)) {
+      slot = i;
+      break;
+    }
+  }
+  if (slot == members_.size()) {
+    members_.push_back(MemberPeer{member_asn, nullptr, {}, {}});
+  } else {
+    // Fresh Adj-RIB-Out: the rejoining router remembers nothing we exported.
+    members_[slot].exported.clear();
+    members_[slot].exported6.clear();
+  }
+  const bgp::PeerId peer = static_cast<bgp::PeerId>(slot + 1);  // Index + 1.
   auto session = std::make_unique<bgp::Session>(queue_, server_side, session_config);
   session->set_update_handler(
       [this, peer](const bgp::UpdateMessage& u) { on_member_update(peer, u); });
@@ -50,7 +67,7 @@ std::shared_ptr<bgp::Endpoint> RouteServer::accept_member(bgp::Asn member_asn) {
     on_member_refresh(peer, refresh);
   });
   session->start();
-  members_.back().session = std::move(session);
+  members_[slot].session = std::move(session);
   return member_side;
 }
 
@@ -61,6 +78,12 @@ std::shared_ptr<bgp::Endpoint> RouteServer::accept_controller() {
   session_config.router_id = config_.router_id;
   session_config.add_path_tx = true;
   controller_session_ = std::make_unique<bgp::Session>(queue_, server_side, session_config);
+  // ROUTE-REFRESH from the controller (post-reconnect resync): replay the
+  // full Adj-RIB-In so it can rebuild desired state from scratch.
+  controller_session_->set_refresh_handler([this](const bgp::RouteRefreshMessage& refresh) {
+    if (refresh.afi != bgp::kAfiIPv4) return;
+    rib_.for_each([this](const bgp::Route& route) { controller_announce(route); });
+  });
   controller_session_->start();
   // Initial RIB synchronization: queued updates flush on establishment.
   rib_.for_each([this](const bgp::Route& route) { controller_announce(route); });

@@ -1,0 +1,139 @@
+#include "sim/fault.hpp"
+
+#include <cstdio>
+
+namespace stellar::sim {
+
+FaultInjector::FaultInjector(EventQueue& queue, FaultPlan plan)
+    : queue_(queue), plan_(std::move(plan)), fork_rng_(plan_.seed) {}
+
+FaultInjector::~FaultInjector() {
+  *alive_ = false;
+  disarm();
+}
+
+void FaultInjector::arm() {
+  if (armed_) return;
+  armed_ = true;
+  previous_hook_ = bgp::SetLinkHook(
+      [this](const std::shared_ptr<bgp::Endpoint>& a, const std::shared_ptr<bgp::Endpoint>& b) {
+        wrap(a, b);
+      });
+  if (!kills_scheduled_) {
+    kills_scheduled_ = true;
+    for (const auto& kill : plan_.session_kills) {
+      queue_.schedule_at(Seconds(kill.at_s), [this, alive = alive_, index = kill.link_index] {
+        if (!*alive) return;
+        execute_kill(index);
+      });
+    }
+  }
+}
+
+void FaultInjector::disarm() {
+  if (!armed_) return;
+  armed_ = false;
+  bgp::SetLinkHook(std::move(previous_hook_));
+  previous_hook_ = nullptr;
+}
+
+void FaultInjector::wrap(const std::shared_ptr<bgp::Endpoint>& a,
+                         const std::shared_ptr<bgp::Endpoint>& b) {
+  auto link = std::make_shared<LinkState>();
+  link->index = links_.size();
+  link->rng = fork_rng_.fork();
+  link->a = a;
+  link->b = b;
+  links_.push_back(link);
+  ++stats_.links_wrapped;
+  a->set_fault_filter([this, alive = alive_, link](std::vector<std::uint8_t>& bytes,
+                                                   Duration& extra) {
+    if (!*alive) return true;
+    return filter(*link, 'a', bytes, extra);
+  });
+  b->set_fault_filter([this, alive = alive_, link](std::vector<std::uint8_t>& bytes,
+                                                   Duration& extra) {
+    if (!*alive) return true;
+    return filter(*link, 'b', bytes, extra);
+  });
+}
+
+bool FaultInjector::in_window(double now_s) const {
+  return now_s >= plan_.window_start_s && now_s < plan_.window_end_s;
+}
+
+bool FaultInjector::partitioned(double now_s) const {
+  for (const auto& p : plan_.partitions) {
+    if (now_s >= p.start_s && now_s < p.end_s) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::filter(LinkState& link, char side, std::vector<std::uint8_t>& bytes,
+                           Duration& extra_delay) {
+  const double now = queue_.now().count();
+  if (partitioned(now)) {
+    ++stats_.partition_drops;
+    record("partition-drop", link.index, side, bytes.size());
+    return false;
+  }
+  if (!in_window(now)) return true;
+  if (plan_.drop_probability > 0.0 && link.rng.chance(plan_.drop_probability)) {
+    ++stats_.messages_dropped;
+    record("drop", link.index, side, bytes.size());
+    return false;
+  }
+  if (plan_.corrupt_probability > 0.0 && link.rng.chance(plan_.corrupt_probability) &&
+      !bytes.empty()) {
+    // Flip one byte past the 16-byte marker so framing sees a malformed
+    // message rather than silently resynchronizing.
+    const auto pos = static_cast<std::size_t>(
+        link.rng.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+    bytes[pos] ^= 0xFF;
+    ++stats_.messages_corrupted;
+    record("corrupt", link.index, side, bytes.size());
+  }
+  if (plan_.jitter_max_s > 0.0) {
+    const double jitter = link.rng.uniform(0.0, plan_.jitter_max_s);
+    if (jitter > 0.0) {
+      extra_delay += Seconds(jitter);
+      ++stats_.messages_delayed;
+      record("delay", link.index, side, bytes.size());
+    }
+  }
+  return true;
+}
+
+void FaultInjector::execute_kill(std::size_t link_index) {
+  const auto kill_one = [this](LinkState& link) {
+    auto a = link.a.lock();
+    if (!a || a->closed()) return;
+    a->close();
+    ++stats_.kills_executed;
+    record("kill", link.index, 'a', 0);
+  };
+  if (link_index == FaultPlan::kAllLinks) {
+    for (const auto& link : links_) kill_one(*link);
+    return;
+  }
+  if (link_index < links_.size()) kill_one(*links_[link_index]);
+}
+
+void FaultInjector::record(const char* what, std::size_t link_index, char side,
+                           std::size_t bytes) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "t=%.6f %s link#%zu side=%c bytes=%zu",
+                queue_.now().count(), what, link_index, side, bytes);
+  trace_.emplace_back(buf);
+}
+
+std::string FaultInjector::trace_text() const {
+  std::string out;
+  for (const auto& line : trace_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace stellar::sim

@@ -1,0 +1,153 @@
+// Deterministic fault injection for the signaling stack (the chaos half of
+// the robustness story): a seeded FaultPlan describes probabilistic message
+// drop/corruption/latency jitter, scheduled total partitions, and timed
+// session kills; a FaultInjector installs itself as the bgp::MakeLink hook
+// and wraps every link created while armed. All randomness derives from the
+// plan seed and the (deterministic) simulation event order, so one seed
+// reproduces one byte-identical fault trace.
+//
+// FlakyCompiler injects the matching management-layer fault: probabilistic
+// transient apply() failures, exercising the network manager's retry path.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bgp/session.hpp"
+#include "core/network_manager.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace stellar::sim {
+
+/// Everything that goes wrong, declared up front and seeded.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  // Per-message probabilistic faults on wrapped links, active only inside
+  // [window_start_s, window_end_s) — a bounded storm, after which the
+  // platform must converge.
+  double drop_probability = 0.0;
+  double corrupt_probability = 0.0;
+  /// Extra one-way latency drawn uniformly from [0, jitter_max_s).
+  double jitter_max_s = 0.0;
+  double window_start_s = 0.0;
+  double window_end_s = std::numeric_limits<double>::infinity();
+
+  /// Total outage: every message on every wrapped link is dropped while a
+  /// partition is active (hold timers expire, fail-safe must engage).
+  struct Partition {
+    double start_s = 0.0;
+    double end_s = 0.0;
+  };
+  std::vector<Partition> partitions;
+
+  static constexpr std::size_t kAllLinks = std::numeric_limits<std::size_t>::max();
+  /// Hard session kill: closes the link (both directions) at `at_s`.
+  /// `link_index` is the wrap order (0 = first link created while armed);
+  /// kAllLinks kills every wrapped link still open — a full outage event.
+  struct SessionKill {
+    double at_s = 0.0;
+    std::size_t link_index = kAllLinks;
+  };
+  std::vector<SessionKill> session_kills;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(EventQueue& queue, FaultPlan plan);
+  ~FaultInjector();
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Installs the MakeLink hook; links created while armed are wrapped.
+  /// Scheduled kills are armed on the simulation clock at this point.
+  void arm();
+  /// Uninstalls the hook. Already-wrapped links keep their filters.
+  void disarm();
+
+  struct Stats {
+    std::uint64_t links_wrapped = 0;
+    std::uint64_t messages_dropped = 0;    ///< Probabilistic drops.
+    std::uint64_t messages_corrupted = 0;
+    std::uint64_t messages_delayed = 0;
+    std::uint64_t partition_drops = 0;     ///< Drops inside a partition window.
+    std::uint64_t kills_executed = 0;      ///< Links actually closed by kills.
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Deterministic event trace: one line per injected fault, in simulation
+  /// order. Identical seeds (and scenario) produce identical traces.
+  [[nodiscard]] const std::vector<std::string>& trace() const { return trace_; }
+  [[nodiscard]] std::string trace_text() const;
+
+ private:
+  /// Shared per-link fault state; endpoints' filters hold it via shared_ptr,
+  /// so it must not own the endpoints (weak back-references only).
+  struct LinkState {
+    std::size_t index = 0;
+    util::Rng rng{1};
+    std::weak_ptr<bgp::Endpoint> a;
+    std::weak_ptr<bgp::Endpoint> b;
+  };
+
+  void wrap(const std::shared_ptr<bgp::Endpoint>& a, const std::shared_ptr<bgp::Endpoint>& b);
+  bool filter(LinkState& link, char side, std::vector<std::uint8_t>& bytes,
+              Duration& extra_delay);
+  [[nodiscard]] bool in_window(double now_s) const;
+  [[nodiscard]] bool partitioned(double now_s) const;
+  void execute_kill(std::size_t link_index);
+  void record(const char* what, std::size_t link_index, char side, std::size_t bytes);
+
+  EventQueue& queue_;
+  FaultPlan plan_;
+  util::Rng fork_rng_;  ///< Parent stream: each wrapped link forks a child.
+  bool armed_ = false;
+  bool kills_scheduled_ = false;
+  std::vector<std::shared_ptr<LinkState>> links_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  bgp::LinkHook previous_hook_;
+  Stats stats_;
+  std::vector<std::string> trace_;
+};
+
+/// ConfigCompiler decorator that fails apply() with a transient error code
+/// ("transient.flaky") at a seeded probability — the retrying network manager
+/// must absorb these without losing changes.
+class FlakyCompiler final : public core::ConfigCompiler {
+ public:
+  FlakyCompiler(core::ConfigCompiler& inner, double failure_probability, std::uint64_t seed)
+      : inner_(inner), failure_probability_(failure_probability), rng_(seed) {}
+
+  util::Result<void> apply(const core::ConfigChange& change) override {
+    if (forced_failures_ > 0) {
+      --forced_failures_;
+      ++injected_failures_;
+      return util::MakeError("transient.flaky", "injected transient apply failure");
+    }
+    if (failure_probability_ > 0.0 && rng_.chance(failure_probability_)) {
+      ++injected_failures_;
+      return util::MakeError("transient.flaky", "injected transient apply failure");
+    }
+    return inner_.apply(change);
+  }
+  [[nodiscard]] std::string_view name() const override { return "flaky"; }
+
+  /// Deterministically fail the next `n` applies regardless of probability —
+  /// lets tests guarantee the retry path fires under any seed.
+  void fail_next(std::uint64_t n) { forced_failures_ += n; }
+
+  [[nodiscard]] std::uint64_t injected_failures() const { return injected_failures_; }
+
+ private:
+  core::ConfigCompiler& inner_;
+  double failure_probability_;
+  util::Rng rng_;
+  std::uint64_t forced_failures_ = 0;
+  std::uint64_t injected_failures_ = 0;
+};
+
+}  // namespace stellar::sim

@@ -1,0 +1,60 @@
+// Bounded append-only sample log: keeps the most recent `capacity` entries
+// and the total count ever pushed. Long chaos runs push per-change waiting
+// times and failure codes for days of simulated time; an unbounded vector
+// there is a slow leak. Iteration order is insertion order over the retained
+// window, so percentile math over begin()/end() is unchanged as long as the
+// window covers the samples of interest.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+namespace stellar::util {
+
+template <typename T>
+class RingLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 65'536;
+
+  explicit RingLog(std::size_t capacity = kDefaultCapacity) : capacity_(capacity) {}
+
+  void push_back(const T& value) { emplace(value); }
+  void push_back(T&& value) { emplace(std::move(value)); }
+
+  /// Retained samples (<= capacity).
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  /// Samples ever pushed, including evicted ones.
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Samples evicted to honor the capacity bound.
+  [[nodiscard]] std::uint64_t evicted() const { return total_ - data_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] const T& front() const { return data_.front(); }
+  [[nodiscard]] const T& back() const { return data_.back(); }
+
+  [[nodiscard]] auto begin() const { return data_.begin(); }
+  [[nodiscard]] auto end() const { return data_.end(); }
+
+  void clear() {
+    data_.clear();
+    total_ = 0;
+  }
+
+ private:
+  template <typename U>
+  void emplace(U&& value) {
+    data_.push_back(std::forward<U>(value));
+    ++total_;
+    if (data_.size() > capacity_) data_.pop_front();
+  }
+
+  std::size_t capacity_;
+  std::deque<T> data_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace stellar::util

@@ -1,0 +1,302 @@
+#include "bgp/reconnect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace stellar::bgp {
+namespace {
+
+SessionConfig Cfg(Asn asn, std::uint8_t id) {
+  SessionConfig c;
+  c.local_asn = asn;
+  c.router_id = net::IPv4Address(10, 0, 0, id);
+  return c;
+}
+
+/// Accepts one responder session per dial — the route-server stand-in.
+struct Responder {
+  sim::EventQueue& queue;
+  std::vector<std::unique_ptr<Session>> sessions;
+  int accepts = 0;
+
+  explicit Responder(sim::EventQueue& q) : queue(q) {}
+
+  std::shared_ptr<Endpoint> accept() {
+    ++accepts;
+    auto [ea, eb] = MakeLink(queue);
+    auto s = std::make_unique<Session>(queue, eb, Cfg(65002, 2));
+    s->start();
+    sessions.push_back(std::move(s));
+    return ea;
+  }
+
+  /// Kills the most recent responder session (unexpected close for the peer).
+  void kill_current() { sessions.back()->stop(); }
+};
+
+ReconnectPolicy FastPolicy() {
+  ReconnectPolicy p;
+  p.initial_backoff_s = 1.0;
+  p.max_backoff_s = 16.0;
+  p.backoff_multiplier = 2.0;
+  p.jitter_frac = 0.0;  // Exact delays for assertions.
+  p.flap_penalty = 0.0;  // Damping isolated in its own tests.
+  return p;
+}
+
+TEST(ReconnectTest, EstablishesThenRecoversFromUnexpectedClose) {
+  sim::EventQueue queue;
+  Responder responder(queue);
+  ReconnectingSession rs(queue, [&] { return responder.accept(); }, Cfg(65001, 1),
+                         FastPolicy());
+  int established_count = 0;
+  rs.set_established_handler([&](Session&) { ++established_count; });
+  rs.start();
+  queue.run_until(sim::Seconds(1.0));
+  ASSERT_TRUE(rs.established());
+  EXPECT_EQ(established_count, 1);
+
+  responder.kill_current();
+  queue.run_until(queue.now() + sim::Seconds(5.0));
+  EXPECT_TRUE(rs.established());
+  EXPECT_EQ(established_count, 2);
+  EXPECT_EQ(rs.stats().flaps, 1u);
+  EXPECT_EQ(rs.stats().reconnects, 1u);
+  EXPECT_EQ(rs.stats().dial_attempts, 2u);
+  EXPECT_EQ(responder.accepts, 2);
+}
+
+TEST(ReconnectTest, HandlersSurviveReconnect) {
+  sim::EventQueue queue;
+  Responder responder(queue);
+  ReconnectingSession rs(queue, [&] { return responder.accept(); }, Cfg(65001, 1),
+                         FastPolicy());
+  std::vector<UpdateMessage> received;
+  rs.set_update_handler([&](const UpdateMessage& u) { received.push_back(u); });
+  rs.start();
+  queue.run_until(sim::Seconds(1.0));
+  responder.kill_current();
+  queue.run_until(queue.now() + sim::Seconds(5.0));
+  ASSERT_TRUE(rs.established());
+
+  // An update through the *new* responder session must reach the handler
+  // attached before the flap.
+  UpdateMessage u;
+  u.attrs.origin = Origin::kIgp;
+  u.attrs.next_hop = net::IPv4Address(10, 0, 0, 2);
+  u.announced = {{0, net::Prefix4::Parse("60.1.0.0/20").value()}};
+  responder.sessions.back()->announce(u);
+  queue.run_until(queue.now() + sim::Seconds(1.0));
+  ASSERT_EQ(received.size(), 1u);
+}
+
+TEST(ReconnectTest, BackoffGrowsExponentiallyAndCaps) {
+  sim::EventQueue queue;
+  // Dead transports: the peer endpoint is closed before handing ours out, so
+  // every dial flaps ~one link latency later.
+  auto dead_factory = [&queue] {
+    auto [ea, eb] = MakeLink(queue);
+    eb->close();
+    return ea;
+  };
+  ReconnectingSession rs(queue, dead_factory, Cfg(65001, 1), FastPolicy());
+  rs.start();
+
+  std::vector<double> backoffs;
+  std::uint64_t seen_flaps = 0;
+  // Sample last_backoff_s after each new flap.
+  while (backoffs.size() < 7) {
+    queue.run_until(queue.now() + sim::Seconds(0.5));
+    if (rs.stats().flaps > seen_flaps) {
+      seen_flaps = rs.stats().flaps;
+      backoffs.push_back(rs.stats().last_backoff_s);
+    }
+  }
+  // 1, 2, 4, 8, 16, then capped at max_backoff_s = 16.
+  EXPECT_DOUBLE_EQ(backoffs[0], 1.0);
+  EXPECT_DOUBLE_EQ(backoffs[1], 2.0);
+  EXPECT_DOUBLE_EQ(backoffs[2], 4.0);
+  EXPECT_DOUBLE_EQ(backoffs[3], 8.0);
+  EXPECT_DOUBLE_EQ(backoffs[4], 16.0);
+  EXPECT_DOUBLE_EQ(backoffs[5], 16.0);
+  EXPECT_DOUBLE_EQ(backoffs[6], 16.0);
+}
+
+TEST(ReconnectTest, JitterIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::EventQueue queue;
+    auto dead_factory = [&queue] {
+      auto [ea, eb] = MakeLink(queue);
+      eb->close();
+      return ea;
+    };
+    ReconnectPolicy p = FastPolicy();
+    p.jitter_frac = 0.25;
+    p.seed = seed;
+    ReconnectingSession rs(queue, dead_factory, Cfg(65001, 1), p);
+    rs.start();
+    queue.run_until(sim::Seconds(40.0));
+    return std::pair{rs.stats().dial_attempts, rs.stats().last_backoff_s};
+  };
+  const auto [attempts1, backoff1] = run(7);
+  const auto [attempts2, backoff2] = run(7);
+  EXPECT_EQ(attempts1, attempts2);
+  EXPECT_DOUBLE_EQ(backoff1, backoff2);
+  // Jitter is real: delays deviate from the exact exponential sequence.
+  EXPECT_NE(backoff1, 1.0);
+  EXPECT_NE(backoff1, 2.0);
+}
+
+TEST(ReconnectTest, GivesUpAfterMaxRetries) {
+  sim::EventQueue queue;
+  auto dead_factory = [&queue] {
+    auto [ea, eb] = MakeLink(queue);
+    eb->close();
+    return ea;
+  };
+  ReconnectPolicy p = FastPolicy();
+  p.max_retries = 3;
+  ReconnectingSession rs(queue, dead_factory, Cfg(65001, 1), p);
+  rs.start();
+  queue.run_until(sim::Seconds(300.0));
+  // First dial + 3 retries, then permanent give-up.
+  EXPECT_EQ(rs.stats().dial_attempts, 4u);
+  EXPECT_EQ(rs.stats().give_ups, 1u);
+  EXPECT_FALSE(rs.established());
+}
+
+TEST(ReconnectTest, MaxRetriesZeroIsOneShot) {
+  sim::EventQueue queue;
+  Responder responder(queue);
+  ReconnectPolicy p = FastPolicy();
+  p.max_retries = 0;
+  ReconnectingSession rs(queue, [&] { return responder.accept(); }, Cfg(65001, 1), p);
+  rs.start();
+  queue.run_until(sim::Seconds(1.0));
+  ASSERT_TRUE(rs.established());
+  responder.kill_current();
+  queue.run_until(queue.now() + sim::Seconds(60.0));
+  EXPECT_FALSE(rs.established());
+  EXPECT_EQ(rs.stats().dial_attempts, 1u);
+  EXPECT_EQ(rs.stats().give_ups, 1u);
+}
+
+TEST(ReconnectTest, StopIsNotAFlap) {
+  sim::EventQueue queue;
+  Responder responder(queue);
+  ReconnectingSession rs(queue, [&] { return responder.accept(); }, Cfg(65001, 1),
+                         FastPolicy());
+  rs.start();
+  queue.run_until(sim::Seconds(1.0));
+  ASSERT_TRUE(rs.established());
+  rs.stop();
+  queue.run_until(queue.now() + sim::Seconds(60.0));
+  EXPECT_FALSE(rs.established());
+  EXPECT_EQ(rs.stats().flaps, 0u);
+  EXPECT_EQ(rs.stats().dial_attempts, 1u);
+}
+
+TEST(ReconnectTest, NullFactoryAbortsRecovery) {
+  sim::EventQueue queue;
+  Responder responder(queue);
+  int dials = 0;
+  ReconnectingSession rs(
+      queue,
+      [&]() -> std::shared_ptr<Endpoint> {
+        return ++dials == 1 ? responder.accept() : nullptr;
+      },
+      Cfg(65001, 1), FastPolicy());
+  rs.start();
+  queue.run_until(sim::Seconds(1.0));
+  responder.kill_current();
+  queue.run_until(queue.now() + sim::Seconds(60.0));
+  EXPECT_FALSE(rs.established());
+  EXPECT_EQ(rs.stats().give_ups, 1u);
+}
+
+// ---- Flap damping ----------------------------------------------------------
+
+TEST(FlapDampingTest, PenaltyDecaysWithHalfLife) {
+  ReconnectPolicy p;
+  p.flap_penalty = 1000.0;
+  p.half_life_s = 60.0;
+  FlapDamping d(p);
+  d.record_flap(0.0);
+  EXPECT_DOUBLE_EQ(d.penalty(0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(d.penalty(60.0), 500.0);
+  EXPECT_DOUBLE_EQ(d.penalty(120.0), 250.0);
+}
+
+TEST(FlapDampingTest, SuppressesAboveThresholdReusesBelow) {
+  ReconnectPolicy p;
+  p.flap_penalty = 1000.0;
+  p.suppress_threshold = 3000.0;
+  p.reuse_threshold = 1500.0;
+  p.half_life_s = 60.0;
+  FlapDamping d(p);
+  d.record_flap(0.0);
+  d.record_flap(1.0);
+  EXPECT_FALSE(d.suppressed(1.0));  // ~1988 < 3000.
+  d.record_flap(2.0);
+  EXPECT_FALSE(d.suppressed(2.0));  // ~2965: decay kept it just under.
+  d.record_flap(3.0);
+  EXPECT_TRUE(d.suppressed(3.0));  // ~3931 >= 3000.
+  // Decay from ~3931 to 1500 takes log2(3931/1500) ~= 1.39 half-lives.
+  EXPECT_TRUE(d.suppressed(30.0));
+  EXPECT_FALSE(d.suppressed(3.0 + 90.0));
+}
+
+TEST(FlapDampingTest, ReuseDelayMatchesDecayMath) {
+  ReconnectPolicy p;
+  p.flap_penalty = 3000.0;
+  p.suppress_threshold = 3000.0;
+  p.reuse_threshold = 1500.0;
+  p.half_life_s = 60.0;
+  FlapDamping d(p);
+  d.record_flap(0.0);
+  ASSERT_TRUE(d.suppressed(0.0));
+  EXPECT_NEAR(d.reuse_delay(0.0), 60.0, 1e-9);  // One half-life to halve.
+  EXPECT_DOUBLE_EQ(d.reuse_delay(120.0), 0.0);  // Already below reuse.
+}
+
+TEST(FlapDampingTest, MaxSuppressCapsEpisode) {
+  ReconnectPolicy p;
+  p.flap_penalty = 1e9;  // Would take ages to decay...
+  p.suppress_threshold = 3000.0;
+  p.reuse_threshold = 1500.0;
+  p.half_life_s = 60.0;
+  p.max_suppress_s = 100.0;  // ...but the cap ends the episode.
+  FlapDamping d(p);
+  d.record_flap(0.0);
+  ASSERT_TRUE(d.suppressed(50.0));
+  EXPECT_FALSE(d.suppressed(101.0));
+  EXPECT_LE(d.reuse_delay(0.0), 100.0);
+}
+
+TEST(ReconnectTest, RapidFlapsAreDampened) {
+  sim::EventQueue queue;
+  Responder responder(queue);
+  ReconnectPolicy p = FastPolicy();
+  p.flap_penalty = 1000.0;
+  p.suppress_threshold = 3000.0;
+  p.reuse_threshold = 1500.0;
+  p.half_life_s = 60.0;
+  ReconnectingSession rs(queue, [&] { return responder.accept(); }, Cfg(65001, 1), p);
+  rs.start();
+  // Kill every session as soon as it establishes, ~10x/min.
+  for (int i = 0; i < 10; ++i) {
+    queue.run_until(queue.now() + sim::Seconds(6.0));
+    if (rs.established()) responder.kill_current();
+  }
+  queue.run_until(queue.now() + sim::Seconds(1.0));
+  EXPECT_GE(rs.stats().flaps, 3u);
+  EXPECT_GE(rs.stats().suppressed_dials, 1u);
+  // While suppressed, the scheduled delay is the damping reuse delay, far
+  // beyond plain backoff.
+  EXPECT_GT(rs.stats().last_backoff_s, 16.0);
+}
+
+}  // namespace
+}  // namespace stellar::bgp

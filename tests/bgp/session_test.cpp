@@ -235,5 +235,157 @@ TEST(EndpointTest, SendAfterCloseIsNoop) {
   EXPECT_EQ(received, 0);
 }
 
+TEST(EndpointTest, SendAfterLocalCloseIsCounted) {
+  sim::EventQueue queue;
+  auto [ea, eb] = MakeLink(queue);
+  ea->close();
+  ea->send({1, 2, 3});
+  ea->send({4, 5});
+  EXPECT_EQ(ea->stats().sends_after_close, 2u);
+  EXPECT_EQ(ea->stats().dropped_bytes, 5u);
+  EXPECT_EQ(eb->stats().sends_after_close, 0u);
+}
+
+TEST(EndpointTest, SendToGonePeerIsCounted) {
+  sim::EventQueue queue;
+  auto [ea, eb] = MakeLink(queue);
+  eb->close();  // The remote side goes away first.
+  ea->send({1, 2, 3, 4});
+  queue.run_until(sim::Seconds(1.0));
+  EXPECT_EQ(ea->stats().sends_after_close, 1u);
+  EXPECT_EQ(ea->stats().dropped_bytes, 4u);
+}
+
+TEST(EndpointTest, InFlightBytesDroppedOnPeerCloseAreCounted) {
+  sim::EventQueue queue;
+  auto [ea, eb] = MakeLink(queue);
+  int received = 0;
+  eb->set_receive_handler([&](std::span<const std::uint8_t>) { ++received; });
+  ea->send({1, 2, 3});  // In flight (delivery is scheduled, not immediate)...
+  eb->close();          // ...and the peer closes before it lands.
+  queue.run_until(sim::Seconds(1.0));
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(ea->stats().sends_after_close, 0u);  // The send itself was legal.
+  EXPECT_EQ(ea->stats().dropped_bytes, 3u);
+}
+
+// ---- BGP timer edge cases (keepalive cadence, zero hold time, boundary) ----
+
+TEST(SessionTimerTest, KeepaliveCadenceIsOneThirdOfHoldTime) {
+  SessionConfig ca = Cfg(65001, 1);
+  ca.hold_time_s = 9;  // Keepalive interval: 3 s.
+  SessionConfig cb = Cfg(65002, 2);
+  cb.hold_time_s = 9;
+  SessionPair pair(ca, cb);
+  pair.establish();
+  const std::uint64_t at_establish = pair.a->keepalives_received();
+  pair.queue.run_until(pair.queue.now() + sim::Seconds(30.0));
+  const std::uint64_t received = pair.a->keepalives_received() - at_establish;
+  // 30 s at one keepalive per 3 s: exactly 10 modulo boundary rounding.
+  EXPECT_GE(received, 9u);
+  EXPECT_LE(received, 11u);
+}
+
+TEST(SessionTimerTest, ZeroHoldTimeDisablesTimers) {
+  SessionConfig ca = Cfg(65001, 1);
+  ca.hold_time_s = 0;
+  SessionConfig cb = Cfg(65002, 2);
+  cb.hold_time_s = 0;
+  auto pair = std::make_unique<SessionPair>(ca, cb);
+  pair->establish();
+  ASSERT_TRUE(pair->a->established());
+  EXPECT_EQ(pair->a->negotiated_hold_time_s(), 0);
+  // Kill the peer silently: with hold_time 0 there is no hold timer, so the
+  // survivor must stay Established indefinitely (RFC 4271 §4.2 semantics).
+  sim::EventQueue& queue = pair->queue;
+  Session& a = *pair->a;
+  pair->b.reset();
+  queue.run_until(queue.now() + sim::Seconds(3600.0));
+  EXPECT_TRUE(a.established());
+  // Only the establishing keepalive: no periodic ones with timers disabled.
+  EXPECT_LE(a.keepalives_received(), 1u);
+}
+
+// Drives the peer side of a session by hand so the test controls exactly
+// which messages (and when) reach the session under test.
+struct ManualPeer {
+  sim::EventQueue queue;
+  std::shared_ptr<Endpoint> wire;  // The manual side's endpoint.
+  std::unique_ptr<Session> session;
+
+  explicit ManualPeer(std::uint16_t hold_time_s) {
+    auto [ea, eb] = MakeLink(queue);
+    SessionConfig config = Cfg(65001, 1);
+    config.hold_time_s = hold_time_s;
+    session = std::make_unique<Session>(queue, ea, config);
+    wire = eb;
+    session->start();
+    queue.run_until(sim::Seconds(0.1));  // Session's OPEN is on the wire.
+    OpenMessage open;
+    open.my_asn = 65002;
+    open.hold_time_s = hold_time_s;
+    open.bgp_identifier = net::IPv4Address(10, 0, 0, 2);
+    open.add_four_octet_as_capability();
+    wire->send(Encode(open));
+    wire->send(Encode(KeepaliveMessage{}));
+    queue.run_until(sim::Seconds(0.5));
+  }
+
+  void send_keepalive() { wire->send(Encode(KeepaliveMessage{})); }
+  void send_update() {
+    UpdateMessage u;
+    u.attrs.origin = Origin::kIgp;
+    u.attrs.as_path = {{AsPathSegment::Type::kSequence, {65002}}};
+    u.attrs.next_hop = net::IPv4Address(10, 0, 0, 2);
+    u.announced = {{0, P4("60.1.0.0/20")}};
+    wire->send(Encode(u));
+  }
+};
+
+TEST(SessionTimerTest, HoldTimerExpiresExactlyAtBoundary) {
+  ManualPeer peer(9);
+  ASSERT_TRUE(peer.session->established());
+  // Re-arm the hold timer at a known instant: the keepalive sent at t=2.0
+  // arrives at 2.0 + link latency (1 ms), so expiry is at ~11.001 s.
+  peer.queue.run_until(sim::Seconds(2.0));
+  peer.send_keepalive();
+  // Just short of the 9 s hold time: still up.
+  peer.queue.run_until(sim::Seconds(10.9));
+  EXPECT_TRUE(peer.session->established());
+  // Just past it: hold timer fired, session closed.
+  peer.queue.run_until(sim::Seconds(11.1));
+  EXPECT_EQ(peer.session->state(), SessionState::kClosed);
+}
+
+TEST(SessionTimerTest, KeepalivesResetHoldTimer) {
+  ManualPeer peer(9);
+  ASSERT_TRUE(peer.session->established());
+  // Keepalives every 4 s (< 9 s hold): the session must outlive many hold
+  // periods.
+  for (int i = 0; i < 10; ++i) {
+    peer.queue.run_until(peer.queue.now() + sim::Seconds(4.0));
+    ASSERT_TRUE(peer.session->established()) << "died after " << i << " keepalives";
+    peer.send_keepalive();
+  }
+  // Stop feeding it: expiry one hold time later.
+  peer.queue.run_until(peer.queue.now() + sim::Seconds(10.0));
+  EXPECT_EQ(peer.session->state(), SessionState::kClosed);
+}
+
+TEST(SessionTimerTest, UpdatesResetHoldTimerToo) {
+  ManualPeer peer(9);
+  ASSERT_TRUE(peer.session->established());
+  // RFC 4271 §4.4: *any* message restarts the hold timer, not just
+  // KEEPALIVE. Feed only UPDATEs.
+  for (int i = 0; i < 10; ++i) {
+    peer.queue.run_until(peer.queue.now() + sim::Seconds(4.0));
+    ASSERT_TRUE(peer.session->established()) << "died after " << i << " updates";
+    peer.send_update();
+  }
+  peer.queue.run_until(peer.queue.now() + sim::Seconds(10.0));
+  EXPECT_GE(peer.session->updates_received(), 10u);
+  EXPECT_EQ(peer.session->state(), SessionState::kClosed);
+}
+
 }  // namespace
 }  // namespace stellar::bgp

@@ -200,6 +200,52 @@ TEST(ControllerTest, AdmissionControlCapsRulesPerPort) {
   EXPECT_GE(f.controller->stats().admission_rejected, 2u);
 }
 
+TEST(ControllerTest, ReconcileReinstallsMissingRules) {
+  ControllerFixture f;
+  f.push(P4("100.10.10.10/32"), 1, 65001, NtpDrop());
+  ASSERT_EQ(f.changes.size(), 1u);
+  const std::string key = f.changes[0].key;
+  // The data plane lost the rule (e.g. a crashed apply mid-resync).
+  f.controller->set_installed_view([] { return std::vector<std::string>{}; });
+  const auto report = f.controller->reconcile();
+  EXPECT_EQ(report.missing_reinstalled, 1u);
+  EXPECT_EQ(report.orphans_removed, 0u);
+  ASSERT_EQ(f.changes.size(), 2u);
+  EXPECT_EQ(f.changes[1].op, ConfigChange::Op::kInstall);
+  EXPECT_EQ(f.changes[1].key, key);
+  EXPECT_EQ(f.changes[1].port, f.changes[0].port);
+  EXPECT_EQ(f.controller->stats().reconciliations, 1u);
+  EXPECT_EQ(f.controller->stats().missing_reinstalled, 1u);
+}
+
+TEST(ControllerTest, ReconcileRemovesOrphanRules) {
+  ControllerFixture f;
+  f.push(P4("100.10.10.10/32"), 1, 65001, NtpDrop());
+  ASSERT_EQ(f.changes.size(), 1u);
+  const std::string key = f.changes[0].key;
+  // The data plane holds the desired rule plus a stale leftover.
+  f.controller->set_installed_view(
+      [key] { return std::vector<std::string>{key, "stale/ghost-rule"}; });
+  const auto report = f.controller->reconcile();
+  EXPECT_EQ(report.orphans_removed, 1u);
+  EXPECT_EQ(report.missing_reinstalled, 0u);
+  ASSERT_EQ(f.changes.size(), 2u);
+  EXPECT_EQ(f.changes[1].op, ConfigChange::Op::kRemove);
+  EXPECT_EQ(f.changes[1].key, "stale/ghost-rule");
+  EXPECT_EQ(f.controller->stats().orphans_removed, 1u);
+}
+
+TEST(ControllerTest, ReconcileOnConsistentStateIsANoop) {
+  ControllerFixture f;
+  f.push(P4("100.10.10.10/32"), 1, 65001, NtpDrop());
+  const std::string key = f.changes[0].key;
+  f.controller->set_installed_view([key] { return std::vector<std::string>{key}; });
+  const auto report = f.controller->reconcile();
+  EXPECT_EQ(report.orphans_removed, 0u);
+  EXPECT_EQ(report.missing_reinstalled, 0u);
+  EXPECT_EQ(f.changes.size(), 1u);  // Nothing re-emitted.
+}
+
 TEST(ControllerTest, PeriodicProcessingRunsWithoutExplicitCalls) {
   ControllerFixture f;
   bgp::UpdateMessage u;

@@ -31,12 +31,17 @@ class RecordingCompiler final : public ConfigCompiler {
   util::Result<void> apply(const ConfigChange& change) override {
     applied.push_back({change.key, queue->now().count()});
     if (fail_all) return util::MakeError("F1", "forced failure");
+    if (static_cast<int>(applied.size()) <= fail_first) {
+      return util::MakeError(fail_code, "forced failure");
+    }
     return {};
   }
   [[nodiscard]] std::string_view name() const override { return "recording"; }
 
   sim::EventQueue* queue = nullptr;
   bool fail_all = false;
+  int fail_first = 0;            ///< Fail this many apply() calls, then succeed.
+  std::string fail_code = "F1";  ///< Error code used for fail_first failures.
   std::vector<std::pair<std::string, double>> applied;
 };
 
@@ -128,6 +133,112 @@ TEST(NetworkManagerTest, LateEnqueueAfterIdlePeriod) {
 }
 
 // ---------------------------------------------------------------------------
+// Retry / dead-letter behaviour.
+
+TEST(NetworkManagerTest, TransientFailureRetriedWithBackoff) {
+  NmFixture f({.rate_per_s = 100.0, .max_burst_size = 10.0, .retry_backoff_s = 2.0});
+  f.compiler.fail_first = 2;
+  f.compiler.fail_code = "transient.tcam-busy";
+  f.nm->enqueue(Install("k"));
+  f.queue.run_until(sim::Seconds(60.0));
+  ASSERT_EQ(f.compiler.applied.size(), 3u);
+  EXPECT_EQ(f.nm->stats().applied, 1u);
+  EXPECT_EQ(f.nm->stats().retries, 2u);
+  EXPECT_EQ(f.nm->stats().transient_failures, 2u);
+  EXPECT_EQ(f.nm->stats().dead_lettered, 0u);
+  // Exponential retry spacing: ~2 s then ~4 s after the failures.
+  EXPECT_NEAR(f.compiler.applied[1].second - f.compiler.applied[0].second, 2.0, 0.1);
+  EXPECT_NEAR(f.compiler.applied[2].second - f.compiler.applied[1].second, 4.0, 0.1);
+}
+
+TEST(NetworkManagerTest, PermanentFailureDeadLettersWithoutRetry) {
+  NmFixture f({.rate_per_s = 100.0, .max_burst_size = 10.0});
+  f.compiler.fail_all = true;  // "F1": not transient under the default rule.
+  f.nm->enqueue(Install("k"));
+  f.queue.run_until(sim::Seconds(60.0));
+  EXPECT_EQ(f.compiler.applied.size(), 1u);
+  EXPECT_EQ(f.nm->stats().retries, 0u);
+  EXPECT_EQ(f.nm->stats().permanent_failures, 1u);
+  EXPECT_EQ(f.nm->stats().dead_lettered, 1u);
+  ASSERT_EQ(f.nm->dead_letter().size(), 1u);
+  EXPECT_EQ(f.nm->dead_letter().front().key, "k");
+}
+
+TEST(NetworkManagerTest, TransientExhaustsAttemptBudgetThenDeadLetters) {
+  NmFixture f({.rate_per_s = 100.0, .max_burst_size = 10.0, .max_attempts = 4});
+  f.compiler.fail_first = 1000;  // Never recovers.
+  f.compiler.fail_code = "transient.flaky";
+  f.nm->enqueue(Install("k"));
+  f.queue.run_until(sim::Seconds(300.0));
+  EXPECT_EQ(f.compiler.applied.size(), 4u);  // First try + 3 retries.
+  EXPECT_EQ(f.nm->stats().retries, 3u);
+  EXPECT_EQ(f.nm->stats().dead_lettered, 1u);
+  EXPECT_TRUE(f.nm->in_flight().empty());
+}
+
+TEST(NetworkManagerTest, CustomTransientClassifierOverridesDefault) {
+  NetworkManager::Config config{.rate_per_s = 100.0, .max_burst_size = 10.0};
+  config.transient_classifier = [](const util::Error& e) { return e.code == "F1"; };
+  NmFixture f(config);
+  f.compiler.fail_first = 1;  // One "F1" failure, then success.
+  f.nm->enqueue(Install("k"));
+  f.queue.run_until(sim::Seconds(60.0));
+  EXPECT_EQ(f.nm->stats().applied, 1u);
+  EXPECT_EQ(f.nm->stats().retries, 1u);
+  EXPECT_EQ(f.nm->stats().dead_lettered, 0u);
+}
+
+TEST(NetworkManagerTest, BackoffChangesVisibleAsInFlight) {
+  NmFixture f({.rate_per_s = 100.0, .max_burst_size = 10.0, .retry_backoff_s = 5.0});
+  f.compiler.fail_first = 1;
+  f.compiler.fail_code = "transient.flaky";
+  f.nm->enqueue(Install("k"));
+  f.queue.run_until(sim::Seconds(1.0));  // Failed once; retry waits in backoff.
+  const auto in_flight = f.nm->in_flight();
+  ASSERT_EQ(in_flight.size(), 1u);
+  EXPECT_EQ(in_flight[0].key, "k");
+  f.queue.run_until(sim::Seconds(60.0));
+  EXPECT_TRUE(f.nm->in_flight().empty());
+  EXPECT_EQ(f.nm->stats().applied, 1u);
+}
+
+TEST(NetworkManagerTest, RetriesDoNotDistortWaitingTimes) {
+  // Fig 10b percentiles measure queueing delay for *new* changes; a retried
+  // change must contribute exactly one waiting-time sample.
+  NmFixture f({.rate_per_s = 100.0, .max_burst_size = 10.0});
+  f.compiler.fail_first = 2;
+  f.compiler.fail_code = "transient.flaky";
+  f.nm->enqueue(Install("k"));
+  f.queue.run_until(sim::Seconds(60.0));
+  EXPECT_EQ(f.nm->stats().waiting_times_s.size(), 1u);
+}
+
+TEST(NetworkManagerTest, StatsRingBuffersCapRetainedSamples) {
+  NetworkManager::Config config{.rate_per_s = 1000.0, .max_burst_size = 1000.0};
+  config.stats_retained_samples = 10;
+  NmFixture f(config);
+  for (int i = 0; i < 25; ++i) f.nm->enqueue(Install("k" + std::to_string(i)));
+  f.queue.run_until(sim::Seconds(10.0));
+  const auto& waits = f.nm->stats().waiting_times_s;
+  EXPECT_EQ(waits.size(), 10u);       // Bounded retention...
+  EXPECT_EQ(waits.total(), 25u);      // ...with full-history accounting.
+  EXPECT_EQ(waits.evicted(), 15u);
+  EXPECT_EQ(waits.capacity(), 10u);
+}
+
+TEST(NetworkManagerTest, FailureCodeRingAlsoBounded) {
+  NetworkManager::Config config{.rate_per_s = 1000.0, .max_burst_size = 1000.0};
+  config.stats_retained_samples = 4;
+  NmFixture f(config);
+  f.compiler.fail_all = true;
+  for (int i = 0; i < 9; ++i) f.nm->enqueue(Install("k" + std::to_string(i)));
+  f.queue.run_until(sim::Seconds(10.0));
+  EXPECT_EQ(f.nm->stats().failure_codes.size(), 4u);
+  EXPECT_EQ(f.nm->stats().failure_codes.total(), 9u);
+  EXPECT_EQ(f.nm->stats().failed, 9u);
+}
+
+// ---------------------------------------------------------------------------
 // QosConfigCompiler against a real edge router.
 
 TEST(QosConfigCompilerTest, InstallRemoveLifecycle) {
@@ -142,6 +253,24 @@ TEST(QosConfigCompilerTest, InstallRemoveLifecycle) {
   ASSERT_TRUE(compiler.apply(Remove("key1")).ok());
   EXPECT_EQ(er.policy(11).rule_count(), 0u);
   EXPECT_FALSE(compiler.rule_id("key1").has_value());
+}
+
+TEST(QosConfigCompilerTest, ReinstallSameKeyIsIdempotent) {
+  // Post-resync reconciliation re-emits installs for keys it believes are
+  // missing; a duplicate install must supersede, not leak, the old rule.
+  filter::EdgeRouter er("er1", filter::TcamLimits{});
+  er.add_port(11, 1000.0);
+  QosConfigCompiler compiler(er);
+  ASSERT_TRUE(compiler.apply(Install("key1")).ok());
+  const auto first_id = compiler.rule_id("key1");
+  ASSERT_TRUE(compiler.apply(Install("key1")).ok());
+  EXPECT_EQ(er.policy(11).rule_count(), 1u);  // No orphaned duplicate.
+  ASSERT_EQ(compiler.installed_keys().size(), 1u);
+  ASSERT_TRUE(compiler.rule_id("key1").has_value());
+  EXPECT_NE(compiler.rule_id("key1"), first_id);  // Fresh rule replaced it.
+  ASSERT_TRUE(compiler.apply(Remove("key1")).ok());
+  EXPECT_EQ(er.policy(11).rule_count(), 0u);
+  EXPECT_EQ(er.tcam().l3l4_in_use(), 0);  // No TCAM leak either.
 }
 
 TEST(QosConfigCompilerTest, RemoveUnknownKeyFails) {

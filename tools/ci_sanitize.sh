@@ -24,3 +24,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 # -> signal -> install -> withdraw) must succeed end-to-end under the
 # sanitizers; it exits non-zero if any stage of the loop fails.
 "$BUILD_DIR"/bench/fig10c_auto_detect --smoke
+
+# Chaos sweep: rerun the fault-injection attack scenario under three distinct
+# fault-plan seeds. ctest already ran the default seed set; this sweep pins
+# each seed individually so a failure names the seed that broke recovery.
+for seed in 1 2 3; do
+  "$BUILD_DIR"/tests/chaos_test --seed="$seed"
+done
