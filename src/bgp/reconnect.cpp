@@ -1,6 +1,15 @@
 #include "bgp/reconnect.hpp"
 
+#include "obs/journal.hpp"
+
 namespace stellar::bgp {
+namespace {
+
+std::string SessionSubject(const SessionConfig& config) {
+  return "asn" + std::to_string(config.local_asn);
+}
+
+}  // namespace
 
 ReconnectingSession::ReconnectingSession(sim::EventQueue& queue, TransportFactory factory,
                                          SessionConfig session_config, ReconnectPolicy policy)
@@ -59,6 +68,8 @@ void ReconnectingSession::dial() {
       // Handshake stalled (e.g. the OPEN was lost): tear it down; the close
       // flows through on_state() and schedules the next attempt.
       ++stats_.dial_timeouts;
+      obs::journal().append(queue_.now().count(), obs::EventKind::kDialTimeout,
+                            SessionSubject(session_config_));
       session_->stop();
     });
   }
@@ -72,7 +83,12 @@ void ReconnectingSession::attach_handlers() {
 
 void ReconnectingSession::on_state(SessionState state) {
   if (state == SessionState::kEstablished) {
-    if (stats_.flaps > 0) ++stats_.reconnects;
+    if (stats_.flaps > 0) {
+      ++stats_.reconnects;
+      obs::journal().append(queue_.now().count(), obs::EventKind::kSessionReconnect,
+                            SessionSubject(session_config_),
+                            "reconnects=" + std::to_string(stats_.reconnects));
+    }
     attempts_since_established_ = 0;
     next_backoff_s_ = policy_.initial_backoff_s;
     was_established_ = true;
@@ -83,6 +99,9 @@ void ReconnectingSession::on_state(SessionState state) {
   if (state == SessionState::kClosed && !stopped_) {
     ++stats_.flaps;
     damping_.record_flap(queue_.now().count());
+    obs::journal().append(queue_.now().count(), obs::EventKind::kSessionFlap,
+                          SessionSubject(session_config_),
+                          "flaps=" + std::to_string(stats_.flaps));
     if (on_state_user_) on_state_user_(state);
     schedule_redial();
     return;
@@ -97,6 +116,9 @@ void ReconnectingSession::schedule_redial() {
   // max_retries of 0 means strictly one-shot.
   if (policy_.max_retries >= 0 && attempts_since_established_ >= policy_.max_retries) {
     ++stats_.give_ups;
+    obs::journal().append(queue_.now().count(), obs::EventKind::kSessionGiveUp,
+                          SessionSubject(session_config_),
+                          "retries=" + std::to_string(attempts_since_established_));
     return;
   }
   ++attempts_since_established_;
@@ -110,6 +132,9 @@ void ReconnectingSession::schedule_redial() {
     // Damped: hold the dial until the penalty decays to the reuse threshold.
     ++stats_.suppressed_dials;
     delay = std::max(delay, damping_.reuse_delay(now));
+    obs::journal().append(now, obs::EventKind::kSessionSuppressed,
+                          SessionSubject(session_config_),
+                          "hold_s=" + std::to_string(damping_.reuse_delay(now)));
   }
   stats_.last_backoff_s = delay;
   redial_pending_ = true;

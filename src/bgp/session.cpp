@@ -11,19 +11,19 @@ namespace stellar::bgp {
 void Endpoint::send(std::vector<std::uint8_t> bytes) {
   auto peer = peer_.lock();
   if (closed_ || !peer || peer->closed_) {
-    ++stats_.sends_after_close;
-    stats_.dropped_bytes += bytes.size();
+    sends_after_close_.inc();
+    dropped_bytes_.inc(bytes.size());
     return;
   }
   sim::Duration delay = latency_;
   if (fault_filter_ && !fault_filter_(bytes, delay)) {
-    stats_.dropped_bytes += bytes.size();  // Injected drop.
+    dropped_bytes_.inc(bytes.size());  // Injected drop.
     return;
   }
   queue_->schedule_after(delay, [self = self_, peer, data = std::move(bytes)] {
     if (peer->closed_ || !peer->on_receive_) {
       // Closed while the bytes were in flight: account them as lost.
-      if (auto s = self.lock()) s->stats_.dropped_bytes += data.size();
+      if (auto s = self.lock()) s->dropped_bytes_.inc(data.size());
       return;
     }
     peer->on_receive_(data);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bgp/message.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 
 namespace stellar::bgp {
@@ -54,7 +55,13 @@ class Endpoint {
     /// fault-injector drops).
     std::uint64_t dropped_bytes = 0;
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Thin read over the obs registry cells: per-endpoint values stay exact
+  /// because each endpoint owns its own instance cells.
+  [[nodiscard]] const Stats& stats() const {
+    stats_.sends_after_close = sends_after_close_.value();
+    stats_.dropped_bytes = dropped_bytes_.value();
+    return stats_;
+  }
 
  private:
   friend std::pair<std::shared_ptr<Endpoint>, std::shared_ptr<Endpoint>> MakeLink(
@@ -68,7 +75,9 @@ class Endpoint {
   CloseHandler on_close_;
   FaultFilter fault_filter_;
   bool closed_ = false;
-  Stats stats_;
+  obs::Counter sends_after_close_ = obs::registry().counter("bgp.endpoint.sends_after_close");
+  obs::Counter dropped_bytes_ = obs::registry().counter("bgp.endpoint.dropped_bytes");
+  mutable Stats stats_;
 };
 
 /// Creates a connected endpoint pair with the given one-way latency.

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/journal.hpp"
+#include "obs/trace.hpp"
+
 namespace stellar::core {
 
 std::string ConfigChange::str() const {
@@ -51,7 +54,9 @@ void BlackholingController::init_session(TransportFactory factory,
   // member once it can no longer withdraw them.
   reconnector_->set_state_handler([this](bgp::SessionState state) {
     if (state != bgp::SessionState::kClosed) return;
-    ++stats_.failsafe_flushes;
+    c_failsafe_flushes_.inc();
+    obs::journal().append(queue_.now().count(), obs::EventKind::kFailsafeFlush, "controller",
+                          "desired=" + std::to_string(desired_.size()));
     rib_.clear();
     process();  // Emits removals for everything previously desired.
   });
@@ -76,7 +81,7 @@ BlackholingController::ReconcileReport BlackholingController::reconcile() {
   ReconcileReport report;
   process();  // Bring desired_ up to date with the (resynced) RIB first.
   if (!installed_view_) return report;
-  ++stats_.reconciliations;
+  c_reconciliations_.inc();
   std::set<std::string> installed;
   for (auto& key : installed_view_()) installed.insert(std::move(key));
 
@@ -88,8 +93,8 @@ BlackholingController::ReconcileReport BlackholingController::reconcile() {
     change.op = ConfigChange::Op::kRemove;
     change.key = key;
     ++report.orphans_removed;
-    ++stats_.orphans_removed;
-    ++stats_.removals_emitted;
+    c_orphans_removed_.inc();
+    c_removals_emitted_.inc();
     if (sink_) sink_(change);
   }
 
@@ -100,15 +105,26 @@ BlackholingController::ReconcileReport BlackholingController::reconcile() {
     ConfigChange install = change;
     install.op = ConfigChange::Op::kInstall;
     ++report.missing_reinstalled;
-    ++stats_.missing_reinstalled;
-    ++stats_.installs_emitted;
+    c_missing_reinstalled_.inc();
+    c_installs_emitted_.inc();
     if (sink_) sink_(install);
   }
+  obs::journal().append(queue_.now().count(), obs::EventKind::kReconciliation, "controller",
+                        "orphans=" + std::to_string(report.orphans_removed) +
+                            " missing=" + std::to_string(report.missing_reinstalled));
   return report;
 }
 
 void BlackholingController::on_update(const bgp::UpdateMessage& update) {
-  ++stats_.updates_processed;
+  c_updates_processed_.inc();
+  // Signal-carrying updates get a trace mark per announced prefix: the
+  // moment the signal reached the controller's BGP front-end.
+  if (!update.attrs.extended_communities.empty() || !update.attrs.large_communities.empty()) {
+    const double now = queue_.now().count();
+    for (const auto& nlri : update.announced) {
+      obs::tracer().mark(nlri.prefix.str(), "controller_rx", now);
+    }
+  }
   // The BGP processor stores announced routes in the RIB; peer 0 (the route
   // server session) with ADD-PATH path-ids distinguishing member paths.
   rib_.apply_update(0, update);
@@ -126,8 +142,17 @@ BlackholingController::derive_rules(const bgp::Route& route) {
       HasStellarSignalLarge(config_.ixp_asn, route.attrs.large_communities);
   if (!has_ext && !has_large) return out;
 
-  // Stats are per signaled route, not per processing round.
+  // Stats are per signaled route, not per processing round — and a route is
+  // invalid at most once, no matter how many of its rules fail to translate
+  // (counting each bad rule used to double-count invalid_signals).
   const bool first_seen = stats_counted_.insert({route.prefix, route.path_id}).second;
+  bool invalid_counted = false;
+  const auto count_invalid_once = [&] {
+    if (first_seen && !invalid_counted) {
+      c_invalid_signals_.inc();
+      invalid_counted = true;
+    }
+  };
 
   // Merge both namespaces: rules union, any shaping action applies.
   Signal merged;
@@ -135,7 +160,7 @@ BlackholingController::derive_rules(const bgp::Route& route) {
     auto decoded = DecodeSignal(static_cast<std::uint16_t>(config_.ixp_asn),
                                 route.attrs.extended_communities);
     if (!decoded.ok()) {
-      if (first_seen) ++stats_.invalid_signals;
+      count_invalid_once();
       return out;
     }
     merged = std::move(*decoded);
@@ -143,7 +168,7 @@ BlackholingController::derive_rules(const bgp::Route& route) {
   if (has_large) {
     auto decoded = DecodeSignalLarge(config_.ixp_asn, route.attrs.large_communities);
     if (!decoded.ok()) {
-      if (first_seen) ++stats_.invalid_signals;
+      count_invalid_once();
       return out;
     }
     merged.rules.insert(merged.rules.end(), decoded->rules.begin(), decoded->rules.end());
@@ -154,21 +179,24 @@ BlackholingController::derive_rules(const bgp::Route& route) {
   }
   const auto& signal = merged;
   if (signal.rules.empty()) {
-    if (first_seen) ++stats_.invalid_signals;
+    count_invalid_once();
     return out;
   }
-  if (first_seen) ++stats_.signals_decoded;
+  if (first_seen) {
+    c_signals_decoded_.inc();
+    obs::tracer().mark(route.prefix.str(), "controller_decode", queue_.now().count());
+  }
 
   // The signaling member is the path's origin (the route server has already
   // verified the origin matches the announcing session and IRR ownership).
   const auto member = route.attrs.origin_asn();
   if (!member) {
-    if (first_seen) ++stats_.invalid_signals;
+    count_invalid_once();
     return out;
   }
   const auto entry = directory_(*member);
   if (!entry) {
-    if (first_seen) ++stats_.invalid_signals;
+    count_invalid_once();
     return out;
   }
 
@@ -180,14 +208,14 @@ BlackholingController::derive_rules(const bgp::Route& route) {
       const MatchTemplate* tmpl =
           portal_ != nullptr ? portal_->lookup(sr.value, *member) : nullptr;
       if (tmpl == nullptr) {
-        if (first_seen) ++stats_.invalid_signals;
+        count_invalid_once();
         continue;
       }
       criteria = tmpl->bind(route.prefix);
     } else {
       auto converted = ToMatchCriteria(sr, route.prefix);
       if (!converted.ok()) {
-        if (first_seen) ++stats_.invalid_signals;
+        count_invalid_once();
         continue;
       }
       criteria = *converted;
@@ -198,6 +226,7 @@ BlackholingController::derive_rules(const bgp::Route& route) {
     desired.rule.match = criteria;
     desired.rule.action = shaping ? filter::FilterAction::kShape : filter::FilterAction::kDrop;
     desired.rule.shape_rate_mbps = shaping ? *signal.shape_rate_mbps : 0.0;
+    desired.trace = route.prefix.str();
 
     const std::string key = route.prefix.str() + "|path" + std::to_string(route.path_id) +
                             "|rule" + std::to_string(i) + "|" + sr.str();
@@ -218,7 +247,7 @@ void BlackholingController::process() {
       // already run keep their slot; new ones beyond the budget are rejected.
       int& count = rules_per_port[desired.port];
       if (count >= config_.max_rules_per_port) {
-        if (!desired_.contains(key)) ++stats_.admission_rejected;
+        if (!desired_.contains(key)) c_admission_rejected_.inc();
         continue;
       }
       if (target.emplace(key, std::move(desired)).second) ++count;
@@ -233,7 +262,7 @@ void BlackholingController::process() {
     }
     ConfigChange change = it->second;
     change.op = ConfigChange::Op::kRemove;
-    ++stats_.removals_emitted;
+    c_removals_emitted_.inc();
     if (sink_) sink_(change);
     it = desired_.erase(it);
   }
@@ -246,7 +275,7 @@ void BlackholingController::process() {
       // Modified in place (e.g. shape -> drop escalation): remove then install.
       ConfigChange removal = it->second;
       removal.op = ConfigChange::Op::kRemove;
-      ++stats_.removals_emitted;
+      c_removals_emitted_.inc();
       if (sink_) sink_(removal);
     }
     ConfigChange change;
@@ -255,8 +284,9 @@ void BlackholingController::process() {
     change.port = desired.port;
     change.rule = desired.rule;
     change.key = key;
+    change.trace = desired.trace;
     desired_[key] = change;
-    ++stats_.installs_emitted;
+    c_installs_emitted_.inc();
     if (sink_) sink_(change);
   }
 }

@@ -25,6 +25,7 @@
 #include "core/portal.hpp"
 #include "core/signal.hpp"
 #include "filter/qos.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 
 namespace stellar::core {
@@ -45,6 +46,10 @@ struct ConfigChange {
   double enqueued_at_s = 0.0;
   /// Apply attempts consumed so far (network-manager retry bookkeeping).
   int attempt = 0;
+  /// Signal-path trace id (the signaling route's prefix); empty for changes
+  /// not born from a signal (e.g. reconciliation orphan removals). Stages
+  /// downstream stamp obs::tracer() marks against this id.
+  std::string trace;
 
   [[nodiscard]] std::string str() const;
 };
@@ -131,7 +136,20 @@ class BlackholingController {
     std::uint64_t missing_reinstalled = 0;
   };
 
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Thin read over this controller's obs registry cells.
+  [[nodiscard]] const Stats& stats() const {
+    stats_.updates_processed = c_updates_processed_.value();
+    stats_.signals_decoded = c_signals_decoded_.value();
+    stats_.invalid_signals = c_invalid_signals_.value();
+    stats_.admission_rejected = c_admission_rejected_.value();
+    stats_.installs_emitted = c_installs_emitted_.value();
+    stats_.removals_emitted = c_removals_emitted_.value();
+    stats_.failsafe_flushes = c_failsafe_flushes_.value();
+    stats_.reconciliations = c_reconciliations_.value();
+    stats_.orphans_removed = c_orphans_removed_.value();
+    stats_.missing_reinstalled = c_missing_reinstalled_.value();
+    return stats_;
+  }
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] const bgp::Rib& rib() const { return rib_; }
   [[nodiscard]] bgp::Session& session() { return *reconnector_->session(); }
@@ -145,6 +163,7 @@ class BlackholingController {
     bgp::Asn member;
     filter::PortId port;
     filter::FilterRule rule;
+    std::string trace;  ///< Signal-path trace id (the signaling prefix).
   };
 
   void on_update(const bgp::UpdateMessage& update);
@@ -169,7 +188,23 @@ class BlackholingController {
   InstalledView installed_view_;
   /// Invalidates scheduled reconciliations when the controller dies.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
-  Stats stats_;
+  obs::Counter c_updates_processed_ =
+      obs::registry().counter("core.controller.updates_processed");
+  obs::Counter c_signals_decoded_ = obs::registry().counter("core.controller.signals_decoded");
+  obs::Counter c_invalid_signals_ = obs::registry().counter("core.controller.invalid_signals");
+  obs::Counter c_admission_rejected_ =
+      obs::registry().counter("core.controller.admission_rejected");
+  obs::Counter c_installs_emitted_ =
+      obs::registry().counter("core.controller.installs_emitted");
+  obs::Counter c_removals_emitted_ =
+      obs::registry().counter("core.controller.removals_emitted");
+  obs::Counter c_failsafe_flushes_ =
+      obs::registry().counter("core.controller.failsafe_flushes");
+  obs::Counter c_reconciliations_ = obs::registry().counter("core.controller.reconciliations");
+  obs::Counter c_orphans_removed_ = obs::registry().counter("core.controller.orphans_removed");
+  obs::Counter c_missing_reinstalled_ =
+      obs::registry().counter("core.controller.missing_reinstalled");
+  mutable Stats stats_;
 };
 
 }  // namespace stellar::core

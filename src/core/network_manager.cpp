@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/journal.hpp"
+#include "obs/trace.hpp"
+
 namespace stellar::core {
 
 // ---------------------------------------------------------------------------
@@ -93,6 +96,9 @@ NetworkManager::NetworkManager(sim::EventQueue& queue, ConfigCompiler& compiler,
 void NetworkManager::enqueue(ConfigChange change) {
   change.enqueued_at_s = queue_.now().count();
   change.attempt = 0;
+  if (!change.trace.empty() && change.op == ConfigChange::Op::kInstall) {
+    obs::tracer().mark(change.trace, "config_enqueued", change.enqueued_at_s);
+  }
   pending_.push_back(std::move(change));
   schedule_drain();
 }
@@ -104,18 +110,25 @@ std::vector<ConfigChange> NetworkManager::in_flight() const {
 }
 
 void NetworkManager::handle_failure(ConfigChange change, const util::Error& error) {
-  ++stats_.failed;
+  // Exactly-one accounting: each failed attempt increments `failed` plus one
+  // class counter, and then either `retries` or one terminal counter
+  // (`permanent` dead-letters directly, an exhausted transient increments
+  // `retry_budget_exhausted`) — never both, so the Stats invariants hold.
+  c_failed_.inc();
   stats_.failure_codes.push_back(error.code);
   const bool transient = config_.transient_classifier(error);
   if (transient) {
-    ++stats_.transient_failures;
+    c_transient_failures_.inc();
   } else {
-    ++stats_.permanent_failures;
+    c_permanent_failures_.inc();
   }
   if (!transient || change.attempt >= config_.max_attempts) {
     // Permanent, or the attempt budget is spent: dead-letter the change so
     // operators can inspect what the hardware refused.
-    ++stats_.dead_lettered;
+    if (transient) c_retry_budget_exhausted_.inc();
+    c_dead_lettered_.inc();
+    obs::journal().append(queue_.now().count(), obs::EventKind::kRuleDeadLettered, change.key,
+                          error.code + " attempt=" + std::to_string(change.attempt));
     dead_letter_.push_back(std::move(change));
     return;
   }
@@ -123,7 +136,9 @@ void NetworkManager::handle_failure(ConfigChange change, const util::Error& erro
   double backoff = config_.retry_backoff_s;
   for (int i = 1; i < change.attempt; ++i) backoff *= config_.retry_backoff_multiplier;
   backoff = std::min(backoff, config_.retry_backoff_max_s);
-  ++stats_.retries;
+  c_retries_.inc();
+  obs::journal().append(queue_.now().count(), obs::EventKind::kRuleRetry, change.key,
+                        error.code + " attempt=" + std::to_string(change.attempt));
   const std::uint64_t ticket = next_backoff_ticket_++;
   backoff_changes_.emplace(ticket, std::move(change));
   queue_.schedule_after(sim::Seconds(backoff), [this, ticket] {
@@ -158,11 +173,20 @@ void NetworkManager::schedule_drain() {
     // double-count a change and distort the Fig. 10b percentiles.
     if (change.attempt == 0) {
       stats_.waiting_times_s.push_back(now_s - change.enqueued_at_s);
+      wait_hist_.observe(now_s - change.enqueued_at_s);
     }
     ++change.attempt;
     auto applied = compiler_.apply(change);
     if (applied.ok()) {
-      ++stats_.applied;
+      c_applied_.inc();
+      const bool install = change.op == ConfigChange::Op::kInstall;
+      obs::journal().append(now_s,
+                            install ? obs::EventKind::kRuleInstalled
+                                    : obs::EventKind::kRuleRemoved,
+                            change.key, change.str());
+      if (install && !change.trace.empty()) {
+        obs::tracer().mark(change.trace, "config_applied", now_s);
+      }
     } else {
       handle_failure(std::move(change), applied.error());
     }

@@ -21,6 +21,7 @@
 #include "core/sdn.hpp"
 #include "filter/edge_router.hpp"
 #include "filter/token_bucket.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "util/result.hpp"
 #include "util/ring_log.hpp"
@@ -112,6 +113,11 @@ class NetworkManager {
   /// Enqueues a change; it is applied when the token bucket admits it.
   void enqueue(ConfigChange change);
 
+  /// Failure accounting invariants (each failed attempt lands in exactly one
+  /// class, each dead-lettered change in exactly one terminal bucket):
+  ///   failed          == transient_failures + permanent_failures
+  ///   transient_failures == retries + retry_budget_exhausted
+  ///   dead_lettered   == permanent_failures + retry_budget_exhausted
   struct Stats {
     std::uint64_t applied = 0;
     std::uint64_t failed = 0;  ///< Failed apply attempts (any class).
@@ -119,6 +125,10 @@ class NetworkManager {
     std::uint64_t permanent_failures = 0;
     std::uint64_t retries = 0;        ///< Re-enqueues after transient failures.
     std::uint64_t dead_lettered = 0;  ///< Changes abandoned permanently.
+    /// Transient failures dead-lettered because the attempt budget was spent
+    /// (the terminal counterpart of retries — never double-counted with
+    /// permanent_failures).
+    std::uint64_t retry_budget_exhausted = 0;
     /// Queueing delay of every change's first attempt: the "time from
     /// blackholing signal to configuration" of Fig. 10b. Bounded ring log —
     /// total() counts all samples, evicted() the ones aged out of the window.
@@ -126,7 +136,18 @@ class NetworkManager {
     util::RingLog<std::string> failure_codes;
   };
 
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Thin read over this manager's obs registry cells (the ring logs are fed
+  /// directly and need no refresh).
+  [[nodiscard]] const Stats& stats() const {
+    stats_.applied = c_applied_.value();
+    stats_.failed = c_failed_.value();
+    stats_.transient_failures = c_transient_failures_.value();
+    stats_.permanent_failures = c_permanent_failures_.value();
+    stats_.retries = c_retries_.value();
+    stats_.dead_lettered = c_dead_lettered_.value();
+    stats_.retry_budget_exhausted = c_retry_budget_exhausted_.value();
+    return stats_;
+  }
   [[nodiscard]] std::size_t queue_depth() const { return queue_depth_now(); }
   /// Changes not yet applied (in flight through the token bucket or awaiting
   /// a retry backoff) — the projection reconciliation audits against.
@@ -151,7 +172,18 @@ class NetworkManager {
   std::uint64_t next_backoff_ticket_ = 0;
   bool drain_scheduled_ = false;
   double last_failed_drain_s_ = -1.0;
-  Stats stats_;
+  obs::Counter c_applied_ = obs::registry().counter("core.manager.applied");
+  obs::Counter c_failed_ = obs::registry().counter("core.manager.failed");
+  obs::Counter c_transient_failures_ =
+      obs::registry().counter("core.manager.transient_failures");
+  obs::Counter c_permanent_failures_ =
+      obs::registry().counter("core.manager.permanent_failures");
+  obs::Counter c_retries_ = obs::registry().counter("core.manager.retries");
+  obs::Counter c_dead_lettered_ = obs::registry().counter("core.manager.dead_lettered");
+  obs::Counter c_retry_budget_exhausted_ =
+      obs::registry().counter("core.manager.retry_budget_exhausted");
+  obs::Histogram wait_hist_ = obs::registry().histogram("core.manager.wait_seconds");
+  mutable Stats stats_;
 };
 
 }  // namespace stellar::core

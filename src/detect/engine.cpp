@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/journal.hpp"
+
 namespace stellar::detect {
 
 AutoMitigator::AutoMitigator(ixp::MemberRouter& member, const ixp::RouteServer& route_server,
@@ -59,6 +61,8 @@ void AutoMitigator::observe_bin(std::span<const net::FlowSample> delivered, doub
       } else {
         ++stats_.detections;
         stats_.last_detection_s = t_s;
+        obs::journal().append(t_s, obs::EventKind::kDetectorTriggered, dst.str(),
+                              "rules=" + std::to_string(plan.rules.size()));
         v.record = MitigationRecord{};
         v.record.triggered_at_s = t_s;
         v.record.rules = plan.rules;
@@ -71,6 +75,7 @@ void AutoMitigator::observe_bin(std::span<const net::FlowSample> delivered, doub
                t_s - v.record.shape_signaled_at_s >= cfg_.escalate_after_s) {
       // The attack survived the telemetry phase: escalate to drop, same rules.
       ++stats_.escalations;
+      obs::journal().append(t_s, obs::EventKind::kMitigationEscalated, dst.str());
       signal(dst, v, /*drop=*/true, t_s);
     }
 
@@ -86,6 +91,9 @@ void AutoMitigator::observe_bin(std::span<const net::FlowSample> delivered, doub
           core::WithdrawAdvancedBlackholing(member_, net::Prefix4::HostRoute(dst));
           ++stats_.withdrawals;
           stats_.last_withdrawal_s = t_s;
+          obs::journal().append(t_s, obs::EventKind::kDetectorCleared, dst.str(),
+                                "quiet_s=" + std::to_string(t_s - v.quiet_since_s));
+          obs::journal().append(t_s, obs::EventKind::kMitigationWithdrawn, dst.str());
           v.record = MitigationRecord{};
           v.last_matched.clear();
           v.quiet_since_s = -1.0;

@@ -28,10 +28,12 @@ std::vector<PortId> EdgeRouter::ports() const {
 util::Result<RuleId> EdgeRouter::install_rule(PortId port, FilterRule rule) {
   const auto it = ports_.find(port);
   if (it == ports_.end()) {
+    install_failures_.inc();
     return util::MakeError("router.no_port", "unknown port " + std::to_string(port));
   }
   const TcamFailure failure = tcam_.allocate(port, rule.match);
   if (failure != TcamFailure::kNone) {
+    install_failures_.inc();
     return util::MakeError(std::string(ToString(failure)),
                            "TCAM exhausted installing " + rule.str() + " on port " +
                                std::to_string(port));
@@ -40,6 +42,7 @@ util::Result<RuleId> EdgeRouter::install_rule(PortId port, FilterRule rule) {
   rule_resources_.emplace(id, rule.match);
   it->second.policy.add_rule(id, std::move(rule));
   ++config_ops_;
+  rules_installed_.inc();
   return id;
 }
 
@@ -49,10 +52,11 @@ bool EdgeRouter::remove_rule(PortId port, RuleId id) {
   if (!it->second.policy.remove_rule(id)) return false;
   const auto res = rule_resources_.find(id);
   if (res != rule_resources_.end()) {
-    if (!tcam_.release(port, res->second)) ++tcam_release_errors_;
+    if (!tcam_.release(port, res->second)) tcam_release_errors_.inc();
     rule_resources_.erase(res);
   }
   ++config_ops_;
+  rules_removed_.inc();
   return true;
 }
 

@@ -14,6 +14,7 @@
 #include "filter/cpu.hpp"
 #include "filter/qos.hpp"
 #include "filter/tcam.hpp"
+#include "obs/metrics.hpp"
 #include "util/result.hpp"
 
 namespace stellar::filter {
@@ -57,7 +58,10 @@ class EdgeRouter {
   /// TCAM releases that found less reserved than they tried to return
   /// (double-release / accounting drift). Should stay zero; monitored so
   /// resource-model corruption is visible instead of silently clamped.
-  [[nodiscard]] std::uint64_t tcam_release_errors() const { return tcam_release_errors_; }
+  /// Thin read over this router's obs registry cell.
+  [[nodiscard]] std::uint64_t tcam_release_errors() const {
+    return tcam_release_errors_.value();
+  }
 
  private:
   struct Port {
@@ -73,7 +77,12 @@ class EdgeRouter {
   std::unordered_map<RuleId, RuleCounters> counters_;
   RuleId next_rule_id_ = 1;
   std::uint64_t config_ops_ = 0;
-  std::uint64_t tcam_release_errors_ = 0;
+  obs::Counter rules_installed_ = obs::registry().counter("filter.edge_router.rules_installed");
+  obs::Counter rules_removed_ = obs::registry().counter("filter.edge_router.rules_removed");
+  obs::Counter install_failures_ =
+      obs::registry().counter("filter.edge_router.install_failures");
+  obs::Counter tcam_release_errors_ =
+      obs::registry().counter("filter.edge_router.tcam_release_errors");
 };
 
 }  // namespace stellar::filter

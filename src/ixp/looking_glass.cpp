@@ -1,7 +1,11 @@
 #include "ixp/looking_glass.hpp"
 
+#include <cstdio>
 #include <map>
 #include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace stellar::ixp {
 
@@ -64,6 +68,21 @@ std::string LookingGlass::show_status() const {
       << ", too_specific=" << server_.rejects().too_specific
       << ", origin=" << server_.rejects().origin_mismatch << "}";
   return out.str();
+}
+
+std::string LookingGlass::show_metrics() const {
+  return obs::registry().expose_text();
+}
+
+std::vector<std::string> LookingGlass::show_signal_path(const net::Prefix4& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& stage : obs::tracer().breakdown(prefix.str())) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-20s t=%.6f +%.6f", stage.stage.c_str(), stage.at_s,
+                  stage.delta_s);
+    out.emplace_back(line);
+  }
+  return out;
 }
 
 }  // namespace stellar::ixp

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace stellar::ixp {
 
 MemberRouter::MemberRouter(sim::EventQueue& queue, MemberInfo info,
@@ -79,6 +81,11 @@ void MemberRouter::announce(const net::Prefix4& prefix, std::vector<bgp::Communi
 void MemberRouter::send_announce(const net::Prefix4& prefix,
                                  std::vector<bgp::Community> communities,
                                  std::vector<bgp::ExtendedCommunity> extended) {
+  // Extended communities mean a Stellar signal: open the signal-path trace
+  // at the moment the member's BGP stack emits the announcement.
+  if (!extended.empty()) {
+    obs::tracer().mark(prefix.str(), "member_announce", queue_.now().count());
+  }
   bgp::UpdateMessage update;
   update.attrs.origin = bgp::Origin::kIgp;
   update.attrs.as_path = {{bgp::AsPathSegment::Type::kSequence, {info_.asn}}};

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.hpp"
+
 namespace stellar::ixp {
 
 namespace {
@@ -431,6 +433,12 @@ bgp::PathAttributes RouteServer::member_export_attrs6(const bgp::PathAttributes&
 
 void RouteServer::controller_announce(const bgp::Route& route) {
   if (!controller_session_) return;
+  // Signal routes get a trace mark at the point the route server relays them
+  // to the controller over the ADD-PATH iBGP session. (Replays on resync
+  // re-stamp the same stage; breakdown keeps the first episode.)
+  if (!route.attrs.extended_communities.empty() || !route.attrs.large_communities.empty()) {
+    obs::tracer().mark(route.prefix.str(), "route_server_accept", queue_.now().count());
+  }
   bgp::UpdateMessage update;
   update.attrs = route.attrs;
   update.announced.push_back(

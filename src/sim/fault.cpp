@@ -1,6 +1,9 @@
 #include "sim/fault.hpp"
 
 #include <cstdio>
+#include <string_view>
+
+#include "obs/journal.hpp"
 
 namespace stellar::sim {
 
@@ -125,6 +128,24 @@ void FaultInjector::record(const char* what, std::size_t link_index, char side,
   std::snprintf(buf, sizeof(buf), "t=%.6f %s link#%zu side=%c bytes=%zu",
                 queue_.now().count(), what, link_index, side, bytes);
   trace_.emplace_back(buf);
+  // Mirror every injected fault into the observability journal so chaos
+  // post-mortems interleave faults with the platform's reactions.
+  const std::string_view kind_name(what);
+  obs::EventKind kind = obs::EventKind::kFaultDrop;
+  if (kind_name == "corrupt") {
+    kind = obs::EventKind::kFaultCorrupt;
+  } else if (kind_name == "delay") {
+    kind = obs::EventKind::kFaultDelay;
+  } else if (kind_name == "partition-drop") {
+    kind = obs::EventKind::kFaultPartitionDrop;
+  } else if (kind_name == "kill") {
+    kind = obs::EventKind::kFaultKill;
+  }
+  char subject[32];
+  std::snprintf(subject, sizeof(subject), "link#%zu", link_index);
+  char detail[48];
+  std::snprintf(detail, sizeof(detail), "side=%c bytes=%zu", side, bytes);
+  obs::journal().append(queue_.now().count(), kind, subject, detail);
 }
 
 std::string FaultInjector::trace_text() const {

@@ -188,6 +188,18 @@ TEST(ControllerTest, UnknownPredefinedIdInvalid) {
   EXPECT_GE(f.controller->stats().invalid_signals, 1u);
 }
 
+TEST(ControllerTest, MultipleInvalidRulesCountOneInvalidSignal) {
+  // Regression: invalid_signals counts routes, not rules — a signal carrying
+  // two bad predefined ids used to increment twice.
+  ControllerFixture f;
+  Signal s;
+  s.rules.push_back({RuleKind::kPredefined, 900});
+  s.rules.push_back({RuleKind::kPredefined, 901});
+  f.push(P4("100.10.10.10/32"), 1, 65001, s);
+  EXPECT_TRUE(f.changes.empty());
+  EXPECT_EQ(f.controller->stats().invalid_signals, 1u);
+}
+
 TEST(ControllerTest, AdmissionControlCapsRulesPerPort) {
   ControllerFixture f(/*max_rules_per_port=*/2);
   Signal s;

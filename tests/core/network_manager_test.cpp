@@ -176,6 +176,49 @@ TEST(NetworkManagerTest, TransientExhaustsAttemptBudgetThenDeadLetters) {
   EXPECT_TRUE(f.nm->in_flight().empty());
 }
 
+TEST(NetworkManagerTest, ExhaustedRetryBudgetCountsFailuresExactlyOnce) {
+  // Regression: a transient-retry-then-dead-letter path must not double count
+  // — the last failed attempt is retry_budget_exhausted, not also permanent.
+  NmFixture f({.rate_per_s = 100.0, .max_burst_size = 10.0, .max_attempts = 2});
+  f.compiler.fail_first = 1000;  // Never recovers.
+  f.compiler.fail_code = "transient.flaky";
+  f.nm->enqueue(Install("k"));
+  f.queue.run_until(sim::Seconds(300.0));
+  const auto& stats = f.nm->stats();
+  EXPECT_EQ(stats.failed, 2u);  // One per attempt, nothing else.
+  EXPECT_EQ(stats.transient_failures, 2u);
+  EXPECT_EQ(stats.permanent_failures, 0u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.retry_budget_exhausted, 1u);
+  EXPECT_EQ(stats.dead_lettered, 1u);
+}
+
+TEST(NetworkManagerTest, FailureAccountingInvariantsHold) {
+  // Mixed workload: permanent failures, recovered transients, and a
+  // dead-lettered transient must each land in exactly one class.
+  NmFixture f({.rate_per_s = 100.0, .max_burst_size = 10.0, .max_attempts = 3});
+  f.compiler.fail_all = true;  // "F1": permanent under the default rule.
+  f.nm->enqueue(Install("p1"));
+  f.nm->enqueue(Install("p2"));
+  f.queue.run_until(sim::Seconds(10.0));
+  f.compiler.fail_all = false;
+  f.compiler.applied.clear();
+  f.compiler.fail_first = 1000;  // Transient forever: exhausts the budget.
+  f.compiler.fail_code = "transient.flaky";
+  f.nm->enqueue(Install("t1"));
+  f.queue.run_until(sim::Seconds(300.0));
+
+  const auto& stats = f.nm->stats();
+  EXPECT_EQ(stats.permanent_failures, 2u);
+  EXPECT_EQ(stats.transient_failures, 3u);  // 3 attempts for t1.
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.retry_budget_exhausted, 1u);
+  EXPECT_EQ(stats.failed, stats.transient_failures + stats.permanent_failures);
+  EXPECT_EQ(stats.transient_failures, stats.retries + stats.retry_budget_exhausted);
+  EXPECT_EQ(stats.dead_lettered,
+            stats.permanent_failures + stats.retry_budget_exhausted);
+}
+
 TEST(NetworkManagerTest, CustomTransientClassifierOverridesDefault) {
   NetworkManager::Config config{.rate_per_s = 100.0, .max_burst_size = 10.0};
   config.transient_classifier = [](const util::Error& e) { return e.code == "F1"; };

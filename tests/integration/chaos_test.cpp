@@ -15,6 +15,7 @@
 
 #include "core/stellar.hpp"
 #include "net/ports.hpp"
+#include "obs/journal.hpp"
 #include "sim/fault.hpp"
 
 namespace stellar {
@@ -151,6 +152,7 @@ struct ChaosOutcome {
   double residual_attack_mbps = 0.0;
   double benign_delivered_mbps = 0.0;
   std::string fault_trace;
+  std::string journal_csv;
   std::uint64_t injected_compiler_failures = 0;
   std::uint64_t retries = 0;
   std::uint64_t reconciliations = 0;
@@ -160,6 +162,9 @@ struct ChaosOutcome {
 /// storm (drops + corruption + jitter) capped by a full-outage kill of every
 /// signaling link, followed by unattended recovery.
 ChaosOutcome RunStormScenario(std::uint64_t seed) {
+  // The global journal accumulates across scenarios; each run captures only
+  // its own events so same-seed runs can be compared byte-for-byte.
+  obs::journal().clear();
   sim::FaultPlan plan;
   plan.seed = seed;
   plan.drop_probability = 0.05;
@@ -190,6 +195,7 @@ ChaosOutcome RunStormScenario(std::uint64_t seed) {
   outcome.residual_attack_mbps = report.delivered_mbps - 50.0;
   outcome.benign_delivered_mbps = report.delivered_mbps - outcome.residual_attack_mbps;
   outcome.fault_trace = f.injector->trace_text();
+  outcome.journal_csv = obs::journal().csv();
   const auto& mstats = f.stellar->manager().stats();
   outcome.retries = mstats.retries;
   outcome.reconciliations = f.stellar->controller().stats().reconciliations;
@@ -217,6 +223,12 @@ TEST(ChaosTest, SameSeedYieldsByteIdenticalFaultTrace) {
   EXPECT_EQ(first.fault_trace, second.fault_trace);
   EXPECT_EQ(first.retries, second.retries);
   ASSERT_FALSE(first.fault_trace.empty());
+  // The observability journal (faults + session lifecycle + rule lifecycle)
+  // is part of the determinism contract too.
+  EXPECT_EQ(first.journal_csv, second.journal_csv);
+  EXPECT_GT(first.journal_csv.size(), std::string("t_s,kind,subject,detail\n").size());
+  EXPECT_NE(first.journal_csv.find("rule_installed"), std::string::npos);
+  EXPECT_NE(first.journal_csv.find("fault_"), std::string::npos);
 }
 
 TEST(ChaosTest, TransientCompilerFailuresAreRetriedNotLost) {

@@ -1,0 +1,143 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace stellar::obs {
+namespace {
+
+// Local Tracer instances: the global one is shared with production code
+// across the whole test binary.
+
+TEST(Tracer, BreakdownDeltasTelescopeToEndToEnd) {
+  Tracer tr;
+  tr.mark("10.0.0.1/32", "member_announce", 1.0);
+  tr.mark("10.0.0.1/32", "controller_rx", 2.0);
+  tr.mark("10.0.0.1/32", "config_applied", 4.0);
+  const auto stages = tr.breakdown("10.0.0.1/32");
+  ASSERT_EQ(stages.size(), 3u);
+  EXPECT_EQ(stages[0].stage, "member_announce");
+  EXPECT_DOUBLE_EQ(stages[0].at_s, 1.0);
+  EXPECT_DOUBLE_EQ(stages[0].delta_s, 0.0);
+  EXPECT_EQ(stages[1].stage, "controller_rx");
+  EXPECT_DOUBLE_EQ(stages[1].delta_s, 1.0);
+  EXPECT_EQ(stages[2].stage, "config_applied");
+  EXPECT_DOUBLE_EQ(stages[2].delta_s, 2.0);
+  double sum = 0.0;
+  for (const auto& s : stages) sum += s.delta_s;
+  EXPECT_DOUBLE_EQ(sum, stages.back().at_s - stages.front().at_s);
+}
+
+TEST(Tracer, BreakdownKeepsFirstOccurrenceOfRepeatedStage) {
+  // Route replays re-stamp stages; the breakdown must describe the first
+  // episode, not the replay.
+  Tracer tr;
+  tr.mark("p", "controller_rx", 1.0);
+  tr.mark("p", "config_applied", 2.0);
+  tr.mark("p", "controller_rx", 10.0);
+  const auto stages = tr.breakdown("p");
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0].stage, "controller_rx");
+  EXPECT_DOUBLE_EQ(stages[0].at_s, 1.0);
+  EXPECT_EQ(stages[1].stage, "config_applied");
+}
+
+TEST(Tracer, SameTickStagesKeepCausalInsertionOrder) {
+  // Zero-latency hops are common in the sim (same event-queue tick); order
+  // of recording must break the time tie.
+  Tracer tr;
+  tr.mark("p", "controller_rx", 5.0);
+  tr.mark("p", "controller_decode", 5.0);
+  tr.mark("p", "config_enqueued", 5.0);
+  const auto stages = tr.breakdown("p");
+  ASSERT_EQ(stages.size(), 3u);
+  EXPECT_EQ(stages[0].stage, "controller_rx");
+  EXPECT_EQ(stages[1].stage, "controller_decode");
+  EXPECT_EQ(stages[2].stage, "config_enqueued");
+  EXPECT_DOUBLE_EQ(stages[1].delta_s, 0.0);
+  EXPECT_DOUBLE_EQ(stages[2].delta_s, 0.0);
+}
+
+TEST(Tracer, SpanBeginEndRecordsDuration) {
+  Tracer tr;
+  Span span = tr.begin_span("p", "compile", 1.0);
+  EXPECT_TRUE(span.active());
+  span.end(1.5);
+  const auto events = tr.events("p");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].stage, "compile");
+  EXPECT_DOUBLE_EQ(events[0].start_s, 1.0);
+  EXPECT_DOUBLE_EQ(events[0].end_s, 1.5);
+}
+
+TEST(Tracer, FifoEvictionBeyondMaxTraces) {
+  Tracer tr(Tracer::Options{.max_traces = 2, .max_events_per_trace = 64});
+  tr.mark("first", "s", 1.0);
+  tr.mark("second", "s", 2.0);
+  tr.mark("third", "s", 3.0);
+  EXPECT_EQ(tr.trace_count(), 2u);
+  EXPECT_TRUE(tr.breakdown("first").empty());
+  EXPECT_EQ(tr.breakdown("second").size(), 1u);
+  EXPECT_EQ(tr.breakdown("third").size(), 1u);
+}
+
+TEST(Tracer, PerTraceEventCapCountsDrops) {
+  Tracer tr(Tracer::Options{.max_traces = 16, .max_events_per_trace = 3});
+  for (int i = 0; i < 5; ++i) tr.mark("p", "stage" + std::to_string(i), i);
+  EXPECT_EQ(tr.events("p").size(), 3u);
+  EXPECT_EQ(tr.dropped_events(), 2u);
+}
+
+TEST(Tracer, EndSpanAfterEvictionIsInert) {
+  Tracer tr(Tracer::Options{.max_traces = 1, .max_events_per_trace = 64});
+  Span span = tr.begin_span("old", "work", 1.0);
+  tr.mark("new", "s", 2.0);  // Evicts "old".
+  span.end(3.0);             // Must not crash or resurrect the trace.
+  EXPECT_TRUE(tr.breakdown("old").empty());
+}
+
+TEST(Tracer, CsvFormat) {
+  Tracer tr;
+  tr.mark("10.0.0.1/32", "member_announce", 1.25);
+  const std::string csv = tr.csv();
+  EXPECT_NE(csv.find("trace,stage,start_s,end_s\n"), std::string::npos);
+  EXPECT_NE(csv.find("10.0.0.1/32,member_announce,1.250000000,1.250000000"),
+            std::string::npos);
+}
+
+TEST(Tracer, JsonlHasOneLinePerEvent) {
+  Tracer tr;
+  tr.mark("a", "s1", 1.0);
+  tr.mark("a", "s2", 2.0);
+  tr.mark("b", "s1", 3.0);
+  const std::string jsonl = tr.jsonl();
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 3);
+  EXPECT_NE(jsonl.find("\"trace\":\"a\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"stage\":\"s2\""), std::string::npos);
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  Tracer tr;
+  tr.set_enabled(false);
+  tr.mark("p", "s", 1.0);
+  Span span = tr.begin_span("p", "s2", 2.0);
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(tr.trace_count(), 0u);
+  tr.set_enabled(true);
+  tr.mark("p", "s", 1.0);
+  EXPECT_EQ(tr.trace_count(), 1u);
+}
+
+TEST(Tracer, ClearDropsAllState) {
+  Tracer tr;
+  tr.mark("p", "s", 1.0);
+  tr.clear();
+  EXPECT_EQ(tr.trace_count(), 0u);
+  EXPECT_EQ(tr.dropped_events(), 0u);
+  EXPECT_TRUE(tr.csv().find("p,") == std::string::npos);
+}
+
+}  // namespace
+}  // namespace stellar::obs

@@ -22,8 +22,13 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 # Closed-loop smoke test: the automated detection bench (detect -> synthesize
 # -> signal -> install -> withdraw) must succeed end-to-end under the
-# sanitizers; it exits non-zero if any stage of the loop fails.
-"$BUILD_DIR"/bench/fig10c_auto_detect --smoke
+# sanitizers; it exits non-zero if any stage of the loop fails — including the
+# observability shape check (signal-path trace present and telescoping).
+# The obs snapshot (metrics exposition, signal-path trace, event journal)
+# lands in $OBS_SNAPSHOT_DIR for the workflow to upload as an artifact.
+OBS_SNAPSHOT_DIR=${OBS_SNAPSHOT_DIR:-"$BUILD_DIR"/obs-snapshot}
+mkdir -p "$OBS_SNAPSHOT_DIR"
+"$BUILD_DIR"/bench/fig10c_auto_detect --smoke --obs-out="$OBS_SNAPSHOT_DIR"
 
 # Chaos sweep: rerun the fault-injection attack scenario under three distinct
 # fault-plan seeds. ctest already ran the default seed set; this sweep pins
