@@ -11,7 +11,16 @@
 //
 // Paper's shape: 20% adoption (2x today's RTBH users) — everything OK;
 // 60% — F1 at 4N, F2 at 10N; 100% — F1 from 2N, F2 from 6N.
+//
+// A second sweep re-runs the grid at the paper's full member scale (>800
+// members at the L-IXP, §2) with pool sizes scaled to the larger chassis:
+// the frontier is pool-per-port invariant, so the feasible region must match
+// the 350-port ER. `--smoke` checks both frontiers programmatically without
+// printing the grids and exits non-zero on mismatch (CI gate,
+// tools/ci_release.sh).
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "filter/tcam.hpp"
@@ -23,14 +32,12 @@ namespace {
 
 using namespace stellar;
 
-constexpr int kPorts = 350;  // ER with the largest port density.
-
 /// N: 95th percentile of parallel RTBHs per port, from a synthetic usage
 /// trace (heavy-tailed: most ports hold 0-2 blackholes, a few dozens — see
 /// Dietzel et al., PAM'16 for the underlying distribution shape).
-int MeasureN(util::Rng& rng) {
+int MeasureN(util::Rng& rng, int ports) {
   std::vector<double> parallel;
-  for (int port = 0; port < kPorts; ++port) {
+  for (int port = 0; port < ports; ++port) {
     const double draw = rng.uniform();
     if (draw < 0.60) {
       parallel.push_back(0.0);
@@ -43,77 +50,108 @@ int MeasureN(util::Rng& rng) {
   return static_cast<int>(util::Percentile(parallel, 95.0));
 }
 
+const std::vector<int> kMacMultipliers{10, 8, 6, 4, 2, 0};  // y-axis, top to bottom.
+const std::vector<int> kL3L4Multipliers{0, 1, 2, 3, 4};     // x-axis.
+
+filter::TcamFailure FillCell(const filter::TcamLimits& limits, int active_ports, int n,
+                             int l3l4_mult, int mac_mult) {
+  filter::Tcam tcam(limits);
+  filter::TcamFailure failure = filter::TcamFailure::kNone;
+
+  // Phase 1: every active port's Advanced Blackholing rules (L3-L4 criteria;
+  // checked first — F1 is the scarcer resource and takes precedence in the
+  // paper's labeling).
+  filter::MatchCriteria l3l4_rule;
+  l3l4_rule.dst_prefix = net::Prefix4::Parse("100.10.10.10/32").value();
+  for (int port = 0; port < active_ports && failure == filter::TcamFailure::kNone; ++port) {
+    for (int r = 0; r < l3l4_mult * n; ++r) {
+      failure = tcam.allocate(static_cast<filter::PortId>(port), l3l4_rule);
+      if (failure != filter::TcamFailure::kNone) break;
+    }
+  }
+  // Phase 2: every active port's MAC filters (RTBH policy control).
+  for (int port = 0; port < active_ports && failure == filter::TcamFailure::kNone; ++port) {
+    filter::MatchCriteria mac_rule;
+    mac_rule.src_mac = net::MacAddress::ForRouter(static_cast<std::uint32_t>(port));
+    for (int r = 0; r < mac_mult * n; ++r) {
+      failure = tcam.allocate(static_cast<filter::PortId>(port), mac_rule);
+      if (failure != filter::TcamFailure::kNone) break;
+    }
+  }
+  return failure;
+}
+
+/// Runs the full adoption × (MAC, L3-L4) grid for one chassis size and
+/// checks the paper's frontier shape: 20% adoption fits everywhere, 100%
+/// adoption must exhaust the L3-L4 pool at the densest column.
+bool RunGrid(int ports, util::Rng& rng, bool print) {
+  const int n = MeasureN(rng, ports);
+  // Hardware information base, in units of criteria. Pool-per-port is the
+  // calibrated vendor constant, so larger chassis scale the pools linearly.
+  const filter::TcamLimits limits{
+      .l3l4_criteria_pool = static_cast<std::int64_t>(1.9 * ports) * n,
+      .mac_filter_pool = static_cast<std::int64_t>(5.0 * ports) * n,
+  };
+  if (print) {
+    std::printf("=== chassis with %d member ports ===\n", ports);
+    std::printf("N (95th pct of parallel RTBHs per port): %d\n", n);
+    std::printf("ER hardware limits: L3-L4 criteria pool = %lld, MAC filter pool = %lld\n\n",
+                static_cast<long long>(limits.l3l4_criteria_pool),
+                static_cast<long long>(limits.mac_filter_pool));
+  }
+
+  bool shape_ok = true;
+  for (const double adoption : {0.20, 0.60, 1.00}) {
+    const int active_ports = static_cast<int>(adoption * ports);
+    if (print) {
+      std::printf("--- adoption %.0f%% of IXP member ASes (%d active ports) ---\n",
+                  adoption * 100.0, active_ports);
+      std::printf("%-14s", "MAC \\ L3-L4");
+      for (int x : kL3L4Multipliers) std::printf("%6s", (std::to_string(x) + "N").c_str());
+      std::printf("\n");
+    }
+    for (int mac_mult : kMacMultipliers) {
+      if (print) std::printf("%-14s", (std::to_string(mac_mult) + "N").c_str());
+      for (int l3l4_mult : kL3L4Multipliers) {
+        const auto failure = FillCell(limits, active_ports, n, l3l4_mult, mac_mult);
+        if (print) std::printf("%6s", std::string(ToString(failure)).c_str());
+        if (adoption == 0.20 && failure != filter::TcamFailure::kNone) shape_ok = false;
+        if (adoption == 1.00 && l3l4_mult == 4 && mac_mult == 10 &&
+            failure == filter::TcamFailure::kNone) {
+          shape_ok = false;
+        }
+      }
+      if (print) std::printf("\n");
+    }
+    if (print) std::printf("\n");
+  }
+  return shape_ok;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
   std::printf("==============================================================\n");
   std::printf("Fig 9 — Stellar TCAM scaling limits by member adoption rate\n");
   std::printf("reproduces: CoNEXT'18 Stellar paper, Section 5.1, Figure 9(a-c)\n");
   std::printf("==============================================================\n");
 
   util::Rng rng(95);
-  const int N = MeasureN(rng);
-  std::printf("N (95th pct of parallel RTBHs per port): %d\n", N);
-
-  // Hardware information base of the production ER, in units of criteria.
-  // Calibrated to the vendor limits that produce the paper's frontier.
-  const filter::TcamLimits kLimits{
-      .l3l4_criteria_pool = static_cast<std::int64_t>(1.9 * kPorts) * N,
-      .mac_filter_pool = static_cast<std::int64_t>(5.0 * kPorts) * N,
-  };
-  std::printf("ER hardware limits: L3-L4 criteria pool = %lld, MAC filter pool = %lld\n\n",
-              static_cast<long long>(kLimits.l3l4_criteria_pool),
-              static_cast<long long>(kLimits.mac_filter_pool));
-
-  const std::vector<int> kMacMultipliers{10, 8, 6, 4, 2, 0};   // y-axis, top to bottom.
-  const std::vector<int> kL3L4Multipliers{0, 1, 2, 3, 4};      // x-axis.
-
-  for (const double adoption : {0.20, 0.60, 1.00}) {
-    const int active_ports = static_cast<int>(adoption * kPorts);
-    std::printf("--- adoption %.0f%% of IXP member ASes (%d active ports) ---\n",
-                adoption * 100.0, active_ports);
-    std::printf("%-14s", "MAC \\ L3-L4");
-    for (int x : kL3L4Multipliers) std::printf("%6s", (std::to_string(x) + "N").c_str());
-    std::printf("\n");
-
-    for (int mac_mult : kMacMultipliers) {
-      std::printf("%-14s", (std::to_string(mac_mult) + "N").c_str());
-      for (int l3l4_mult : kL3L4Multipliers) {
-        filter::Tcam tcam(kLimits);
-        filter::TcamFailure failure = filter::TcamFailure::kNone;
-
-        // Phase 1: every active port's Advanced Blackholing rules (L3-L4
-        // criteria; checked first — F1 is the scarcer resource and takes
-        // precedence in the paper's labeling).
-        filter::MatchCriteria l3l4_rule;
-        l3l4_rule.dst_prefix = net::Prefix4::Parse("100.10.10.10/32").value();
-        for (int port = 0; port < active_ports && failure == filter::TcamFailure::kNone;
-             ++port) {
-          for (int r = 0; r < l3l4_mult * N; ++r) {
-            failure = tcam.allocate(static_cast<filter::PortId>(port), l3l4_rule);
-            if (failure != filter::TcamFailure::kNone) break;
-          }
-        }
-        // Phase 2: every active port's MAC filters (RTBH policy control).
-        for (int port = 0; port < active_ports && failure == filter::TcamFailure::kNone;
-             ++port) {
-          filter::MatchCriteria mac_rule;
-          mac_rule.src_mac = net::MacAddress::ForRouter(static_cast<std::uint32_t>(port));
-          for (int r = 0; r < mac_mult * N; ++r) {
-            failure = tcam.allocate(static_cast<filter::PortId>(port), mac_rule);
-            if (failure != filter::TcamFailure::kNone) break;
-          }
-        }
-        std::printf("%6s", std::string(ToString(failure)).c_str());
-      }
-      std::printf("\n");
-    }
-    std::printf("\n");
-  }
+  // The paper's lab ER (>350 member ports) and the full L-IXP member scale
+  // (>800 members, §2). Smoke mode prints no grids but checks both.
+  const bool ok_350 = RunGrid(350, rng, /*print=*/!smoke);
+  const bool ok_800 = RunGrid(800, rng, /*print=*/!smoke);
 
   std::printf(
       "shape check (paper): 20%% all OK; 60%% F1 at 4N / F2 at 10N;\n"
       "100%% F1 from 2N / F2 from 6N. The feasible region shrinks with\n"
       "adoption but keeps substantial headroom even at 100%%.\n");
-  return 0;
+  std::printf("frontier shape holds at 350 ports: %s\n", ok_350 ? "YES" : "NO");
+  std::printf("frontier shape holds at 800 ports: %s\n", ok_800 ? "YES" : "NO");
+  return (ok_350 && ok_800) ? 0 : 1;
 }

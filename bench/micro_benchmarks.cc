@@ -34,7 +34,7 @@ bgp::UpdateMessage MakeUpdate() {
   core::Signal signal;
   signal.rules.push_back({core::RuleKind::kUdpSrcPort, net::kPortNtp});
   signal.shape_rate_mbps = 200.0;
-  u.attrs.extended_communities = core::EncodeSignal(64500, signal);
+  u.attrs.extended_communities = core::EncodeSignal(64500, signal).value();
   for (std::uint32_t i = 0; i < 8; ++i) {
     u.announced.push_back(
         {0, net::Prefix4(net::IPv4Address((60u << 24) | (i << 12)), 20)});
@@ -85,7 +85,7 @@ void BM_SignalDecode(benchmark::State& state) {
   signal.rules.push_back({core::RuleKind::kUdpSrcPort, net::kPortNtp});
   signal.rules.push_back({core::RuleKind::kUdpSrcPort, net::kPortDns});
   signal.shape_rate_mbps = 200.0;
-  const auto ecs = core::EncodeSignal(64500, signal);
+  const auto ecs = core::EncodeSignal(64500, signal).value();
   for (auto _ : state) {
     auto decoded = core::DecodeSignal(64500, ecs);
     benchmark::DoNotOptimize(decoded);

@@ -15,11 +15,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <tuple>
 #include <vector>
 
+#include "bgp/intern.hpp"
 #include "bgp/message.hpp"
 
 namespace stellar::bgp {
@@ -48,12 +50,31 @@ struct BasicRoute {
 using Route = BasicRoute<net::Prefix4>;
 using Route6 = BasicRoute<net::Prefix6>;
 
+/// Zero-copy view of a stored route: references stay valid while the RIB is
+/// not mutated. The hot paths at member scale (controller full passes,
+/// route-server re-export fan-out) iterate views instead of materializing
+/// BasicRoute copies of the (interned) attributes.
+template <typename PrefixT>
+struct BasicRouteView {
+  const PrefixT& prefix;
+  PeerId peer = 0;
+  PathId path_id = 0;
+  const PathAttributes& attrs;
+
+  [[nodiscard]] BasicRoute<PrefixT> materialize() const {
+    return BasicRoute<PrefixT>{prefix, peer, path_id, attrs};
+  }
+};
+
+using RouteView = BasicRouteView<net::Prefix4>;
+using RouteView6 = BasicRouteView<net::Prefix6>;
+
 /// RFC 4271 §9.1 decision process (the subset meaningful at an IXP route
 /// server): local-pref desc, as-path length asc, origin asc, MED asc,
 /// peer/path-id as deterministic tie-breakers. Returns true if `a` is
 /// preferred over `b`.
-template <typename PrefixT>
-[[nodiscard]] bool BetterPath(const BasicRoute<PrefixT>& a, const BasicRoute<PrefixT>& b) {
+template <typename RouteA, typename RouteB>
+[[nodiscard]] bool BetterPath(const RouteA& a, const RouteB& b) {
   const std::uint32_t lp_a = a.attrs.local_pref.value_or(100);
   const std::uint32_t lp_b = b.attrs.local_pref.value_or(100);
   if (lp_a != lp_b) return lp_a > lp_b;
@@ -77,12 +98,16 @@ class BasicRib {
 
   /// Inserts or replaces the route identified by (prefix, peer, path_id).
   /// Returns true if the RIB changed (new route or different attributes).
+  /// Attributes are interned through the process-wide AttrPool: the N ribs
+  /// holding the same announcement share one allocation, and the change check
+  /// is a pointer comparison.
   bool insert(RouteT route) {
     const Key key{route.prefix, route.peer, route.path_id};
-    auto [it, inserted] = routes_.try_emplace(key, route.attrs);
+    auto interned = Intern(std::move(route.attrs));
+    auto [it, inserted] = routes_.try_emplace(key, interned);
     if (inserted) return true;
-    if (it->second == route.attrs) return false;
-    it->second = std::move(route.attrs);
+    if (it->second == interned) return false;  // Same pool instance <=> equal attrs.
+    it->second = std::move(interned);
     return true;
   }
 
@@ -147,9 +172,20 @@ class BasicRib {
     std::vector<RouteT> out;
     for (auto it = routes_.lower_bound(Key{prefix, 0, 0});
          it != routes_.end() && it->first.prefix == prefix; ++it) {
-      out.push_back(RouteT{it->first.prefix, it->first.peer, it->first.path_id, it->second});
+      out.push_back(RouteT{it->first.prefix, it->first.peer, it->first.path_id, *it->second});
     }
     return out;
+  }
+
+  /// Zero-copy variant of routes_for: visits each path of `prefix` without
+  /// materializing attribute copies. Do not mutate the RIB from `fn`.
+  void visit_prefix(const PrefixT& prefix,
+                    const std::function<void(const BasicRouteView<PrefixT>&)>& fn) const {
+    for (auto it = routes_.lower_bound(Key{prefix, 0, 0});
+         it != routes_.end() && it->first.prefix == prefix; ++it) {
+      fn(BasicRouteView<PrefixT>{it->first.prefix, it->first.peer, it->first.path_id,
+                                 *it->second});
+    }
   }
 
   /// Best path for the prefix per BetterPath, if any path exists.
@@ -176,7 +212,7 @@ class BasicRib {
     std::vector<RouteT> out;
     out.reserve(routes_.size());
     for (const auto& [key, attrs] : routes_) {
-      out.push_back(RouteT{key.prefix, key.peer, key.path_id, attrs});
+      out.push_back(RouteT{key.prefix, key.peer, key.path_id, *attrs});
     }
     return out;
   }
@@ -188,7 +224,14 @@ class BasicRib {
   /// Visits every route (sorted order).
   void for_each(const std::function<void(const RouteT&)>& fn) const {
     for (const auto& [key, attrs] : routes_) {
-      fn(RouteT{key.prefix, key.peer, key.path_id, attrs});
+      fn(RouteT{key.prefix, key.peer, key.path_id, *attrs});
+    }
+  }
+
+  /// Zero-copy variant of for_each. Do not mutate the RIB from `fn`.
+  void for_each_view(const std::function<void(const BasicRouteView<PrefixT>&)>& fn) const {
+    for (const auto& [key, attrs] : routes_) {
+      fn(BasicRouteView<PrefixT>{key.prefix, key.peer, key.path_id, *attrs});
     }
   }
 
@@ -199,7 +242,7 @@ class BasicRib {
     PathId path_id;
     friend auto operator<=>(const Key&, const Key&) = default;
   };
-  std::map<Key, PathAttributes> routes_;
+  std::map<Key, std::shared_ptr<const PathAttributes>> routes_;
 };
 
 using Rib = BasicRib<net::Prefix4>;

@@ -57,7 +57,8 @@ void BlackholingController::init_session(TransportFactory factory,
     c_failsafe_flushes_.inc();
     obs::journal().append(queue_.now().count(), obs::EventKind::kFailsafeFlush, "controller",
                           "desired=" + std::to_string(desired_.size()));
-    rib_.clear();
+    rib_.clear();       // Bypasses on_update's dirty tracking...
+    need_full_ = true;  // ...so the next epoch must be a full rescan.
     process();  // Emits removals for everything previously desired.
   });
   // Each re-establishment resyncs the RIB (the route server replays it and
@@ -128,6 +129,10 @@ void BlackholingController::on_update(const bgp::UpdateMessage& update) {
   // The BGP processor stores announced routes in the RIB; peer 0 (the route
   // server session) with ADD-PATH path-ids distinguishing member paths.
   rib_.apply_update(0, update);
+  // Every touched prefix joins the current diff epoch: all deltas that land
+  // between two process() rounds coalesce into one change-set emission.
+  for (const auto& nlri : update.withdrawn) dirty_.insert(nlri.prefix);
+  for (const auto& nlri : update.announced) dirty_.insert(nlri.prefix);
 }
 
 std::vector<std::pair<std::string, BlackholingController::DesiredRule>>
@@ -236,59 +241,162 @@ BlackholingController::derive_rules(const bgp::Route& route) {
 }
 
 void BlackholingController::process() {
+  // One diff epoch. Quiet epochs (no RIB churn since the last round) are
+  // free; churny epochs coalesce all accumulated per-prefix deltas into one
+  // change-set. Admission control is sort-order-sensitive, so whenever it
+  // could bind the epoch falls back to the full O(RIB) rescan — the two
+  // paths produce the same desired state by construction.
+  if (!need_full_ && dirty_.empty()) return;
+  if (need_full_) {
+    process_full();
+  } else {
+    process_incremental();
+  }
+}
+
+std::size_t BlackholingController::emit_transition(const std::string& key,
+                                                   const DesiredRule* next) {
+  const auto it = desired_.find(key);
+  if (next == nullptr) {
+    if (it == desired_.end()) return 0;
+    ConfigChange change = it->second;
+    change.op = ConfigChange::Op::kRemove;
+    if (--port_counts_[change.port] <= 0) port_counts_.erase(change.port);
+    desired_.erase(it);
+    c_removals_emitted_.inc();
+    if (sink_) sink_(change);
+    return 1;
+  }
+  if (it != desired_.end() && it->second.rule == next->rule) return 0;
+  std::size_t emitted = 0;
+  if (it != desired_.end()) {
+    // Modified in place (e.g. shape -> drop escalation): remove then install.
+    ConfigChange removal = it->second;
+    removal.op = ConfigChange::Op::kRemove;
+    if (--port_counts_[removal.port] <= 0) port_counts_.erase(removal.port);
+    c_removals_emitted_.inc();
+    if (sink_) sink_(removal);
+    ++emitted;
+  }
+  ConfigChange change;
+  change.op = ConfigChange::Op::kInstall;
+  change.member = next->member;
+  change.port = next->port;
+  change.rule = next->rule;
+  change.key = key;
+  change.trace = next->trace;
+  desired_[key] = change;
+  ++port_counts_[change.port];
+  c_installs_emitted_.inc();
+  if (sink_) sink_(change);
+  return emitted + 1;
+}
+
+void BlackholingController::process_full() {
   // Recompute the full desired state from the current RIB, then diff against
   // what we previously emitted. Equivalent to the paper's RIB-snapshot
   // differencing, but naturally idempotent.
+  c_epochs_full_.inc();
+  need_full_ = false;
+  dirty_.clear();
+  rejected_ports_.clear();
   std::map<std::string, DesiredRule> target;
   std::map<filter::PortId, int> rules_per_port;
   rib_.for_each([&](const bgp::Route& route) {
     for (auto& [key, desired] : derive_rules(route)) {
-      // Admission control: cap concurrent rules per member port. Rules we
-      // already run keep their slot; new ones beyond the budget are rejected.
+      // Admission control: cap concurrent rules per member port. The first
+      // budget-many rules in RIB order win; the rest are rejected.
       int& count = rules_per_port[desired.port];
       if (count >= config_.max_rules_per_port) {
         if (!desired_.contains(key)) c_admission_rejected_.inc();
+        rejected_ports_.insert(desired.port);
         continue;
       }
       if (target.emplace(key, std::move(desired)).second) ++count;
     }
   });
 
+  std::size_t changes = 0;
   // Removals: previously desired, no longer signaled.
-  for (auto it = desired_.begin(); it != desired_.end();) {
-    if (target.contains(it->first)) {
-      ++it;
-      continue;
+  std::vector<std::string> stale;
+  for (const auto& [key, change] : desired_) {
+    if (!target.contains(key)) stale.push_back(key);
+  }
+  for (const auto& key : stale) changes += emit_transition(key, nullptr);
+  // Installs and modifications.
+  for (const auto& [key, desired] : target) changes += emit_transition(key, &desired);
+  if (changes > 0) h_epoch_changes_.observe(static_cast<double>(changes));
+}
+
+void BlackholingController::process_incremental() {
+  // Phase 1 (dry): derive the coalesced delta for every dirty prefix without
+  // emitting anything, and decide whether admission control could bind.
+  struct Delta {
+    std::map<std::string, DesiredRule> next;  ///< Desired rules after the epoch.
+    std::vector<std::string> old_keys;        ///< Currently desired keys of the prefix.
+  };
+  std::vector<Delta> deltas;
+  deltas.reserve(dirty_.size());
+  for (const auto& prefix : dirty_) {
+    Delta d;
+    rib_.visit_prefix(prefix, [&](const bgp::RouteView& view) {
+      for (auto& [key, desired] : derive_rules(view.materialize())) {
+        d.next.emplace(std::move(key), std::move(desired));
+      }
+    });
+    // Change keys are "<prefix>|path..." and '|' sorts above every prefix
+    // character, so the prefix's desired keys form one contiguous map range.
+    const std::string range = prefix.str() + "|";
+    for (auto it = desired_.lower_bound(range);
+         it != desired_.end() && it->first.starts_with(range); ++it) {
+      d.old_keys.push_back(it->first);
     }
-    ConfigChange change = it->second;
-    change.op = ConfigChange::Op::kRemove;
-    c_removals_emitted_.inc();
-    if (sink_) sink_(change);
-    it = desired_.erase(it);
+    deltas.push_back(std::move(d));
   }
 
-  // Installs and modifications.
-  for (auto& [key, desired] : target) {
-    const auto it = desired_.find(key);
-    if (it != desired_.end() && it->second.rule == desired.rule) continue;
-    if (it != desired_.end()) {
-      // Modified in place (e.g. shape -> drop escalation): remove then install.
-      ConfigChange removal = it->second;
-      removal.op = ConfigChange::Op::kRemove;
-      c_removals_emitted_.inc();
-      if (sink_) sink_(removal);
+  // Safety check: project per-port occupancy after the epoch. The epoch may
+  // apply incrementally only if no touched port overflows its budget and no
+  // touched port had rejections in the last full pass (a rejected rule could
+  // be waiting in the RIB for a freed slot).
+  std::map<filter::PortId, int> occupancy = port_counts_;
+  std::set<filter::PortId> touched;
+  for (const auto& d : deltas) {
+    for (const auto& key : d.old_keys) {
+      const ConfigChange& cur = desired_.at(key);
+      touched.insert(cur.port);
+      const auto next = d.next.find(key);
+      if (next == d.next.end()) {
+        --occupancy[cur.port];
+      } else if (next->second.port != cur.port) {
+        --occupancy[cur.port];
+        ++occupancy[next->second.port];
+        touched.insert(next->second.port);
+      }
     }
-    ConfigChange change;
-    change.op = ConfigChange::Op::kInstall;
-    change.member = desired.member;
-    change.port = desired.port;
-    change.rule = desired.rule;
-    change.key = key;
-    change.trace = desired.trace;
-    desired_[key] = change;
-    c_installs_emitted_.inc();
-    if (sink_) sink_(change);
+    for (const auto& [key, desired] : d.next) {
+      touched.insert(desired.port);
+      if (!desired_.contains(key)) ++occupancy[desired.port];
+    }
   }
+  for (const filter::PortId port : touched) {
+    if (rejected_ports_.contains(port) || occupancy[port] > config_.max_rules_per_port) {
+      process_full();  // Global admission must decide this epoch.
+      return;
+    }
+  }
+
+  // Phase 2: emit the batched change-set, removals before installs per
+  // prefix, superseded add->remove churn already annihilated in the delta.
+  c_epochs_incremental_.inc();
+  std::size_t changes = 0;
+  for (const auto& d : deltas) {
+    for (const auto& key : d.old_keys) {
+      if (!d.next.contains(key)) changes += emit_transition(key, nullptr);
+    }
+    for (const auto& [key, desired] : d.next) changes += emit_transition(key, &desired);
+  }
+  dirty_.clear();
+  if (changes > 0) h_epoch_changes_.observe(static_cast<double>(changes));
 }
 
 }  // namespace stellar::core

@@ -134,6 +134,10 @@ class BlackholingController {
     std::uint64_t reconciliations = 0;
     std::uint64_t orphans_removed = 0;
     std::uint64_t missing_reinstalled = 0;
+    // Diff-epoch shape: how many process() rounds ran the O(RIB) full rescan
+    // vs the O(dirty prefixes) incremental delta.
+    std::uint64_t epochs_full = 0;
+    std::uint64_t epochs_incremental = 0;
   };
 
   /// Thin read over this controller's obs registry cells.
@@ -148,6 +152,8 @@ class BlackholingController {
     stats_.reconciliations = c_reconciliations_.value();
     stats_.orphans_removed = c_orphans_removed_.value();
     stats_.missing_reinstalled = c_missing_reinstalled_.value();
+    stats_.epochs_full = c_epochs_full_.value();
+    stats_.epochs_incremental = c_epochs_incremental_.value();
     return stats_;
   }
   [[nodiscard]] const Config& config() const { return config_; }
@@ -171,6 +177,16 @@ class BlackholingController {
   [[nodiscard]] std::vector<std::pair<std::string, DesiredRule>> derive_rules(
       const bgp::Route& route);
   void init_session(TransportFactory factory, bgp::ReconnectPolicy policy);
+  /// Full O(RIB) recompute of the desired set (the paper's snapshot diff).
+  void process_full();
+  /// Batched per-epoch delta over the prefixes dirtied since the last round.
+  /// Falls back to process_full() whenever admission control could bind —
+  /// admission is sort-order-sensitive, so only a global pass decides it.
+  void process_incremental();
+  /// Emits the removal/install/modify changes moving `key` to `next`
+  /// (nullptr: no longer desired), maintaining desired_ and port_counts_.
+  /// Returns the number of changes emitted (0, 1, or 2).
+  std::size_t emit_transition(const std::string& key, const DesiredRule* next);
 
   sim::EventQueue& queue_;
   Config config_;
@@ -184,6 +200,20 @@ class BlackholingController {
   std::set<std::pair<net::Prefix4, bgp::PathId>> stats_counted_;
   /// key -> change currently believed installed (or queued to install).
   std::map<std::string, ConfigChange> desired_;
+  /// Prefixes touched by updates since the last process() round: the unit of
+  /// the batched diff epoch. All per-prefix deltas within one epoch coalesce
+  /// into a single change-set emission.
+  std::set<net::Prefix4> dirty_;
+  /// Force the next epoch through the full rescan (initial sync, fail-safe
+  /// flush, any RIB mutation that bypasses on_update()).
+  bool need_full_ = true;
+  /// Desired-rule count per port, mirrored from desired_ so the incremental
+  /// path can detect a port nearing its admission budget without a rescan.
+  std::map<filter::PortId, int> port_counts_;
+  /// Ports that had at least one admission rejection during the last full
+  /// pass: a rejected rule may be waiting in the RIB, so any churn on these
+  /// ports must re-run global admission.
+  std::set<filter::PortId> rejected_ports_;
   ChangeSink sink_;
   InstalledView installed_view_;
   /// Invalidates scheduled reconciliations when the controller dies.
@@ -204,6 +234,12 @@ class BlackholingController {
   obs::Counter c_orphans_removed_ = obs::registry().counter("core.controller.orphans_removed");
   obs::Counter c_missing_reinstalled_ =
       obs::registry().counter("core.controller.missing_reinstalled");
+  obs::Counter c_epochs_full_ = obs::registry().counter("core.controller.epochs_full");
+  obs::Counter c_epochs_incremental_ =
+      obs::registry().counter("core.controller.epochs_incremental");
+  /// Changes emitted per non-empty diff epoch (batch size distribution).
+  obs::Histogram h_epoch_changes_ = obs::registry().histogram(
+      "core.controller.epoch_changes", obs::HistogramOptions{1.0, 2.0, 16});
   mutable Stats stats_;
 };
 

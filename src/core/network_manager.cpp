@@ -1,6 +1,7 @@
 #include "core/network_manager.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "obs/journal.hpp"
 #include "obs/trace.hpp"
@@ -99,8 +100,35 @@ void NetworkManager::enqueue(ConfigChange change) {
   if (!change.trace.empty() && change.op == ConfigChange::Op::kInstall) {
     obs::tracer().mark(change.trace, "config_enqueued", change.enqueued_at_s);
   }
-  pending_.push_back(std::move(change));
+  if (config_.batch_apply) {
+    coalesce_or_push(std::move(change));
+  } else {
+    pending_.push_back(std::move(change));
+  }
   schedule_drain();
+}
+
+void NetworkManager::coalesce_or_push(ConfigChange change) {
+  const auto idx = pending_index_.find(change.key);
+  if (idx == pending_index_.end()) {
+    pending_.push_back(std::move(change));
+    pending_index_[pending_.back().key] = std::prev(pending_.end());
+    return;
+  }
+  const auto node = idx->second;
+  c_coalesced_.inc();
+  if (node->op == ConfigChange::Op::kInstall && change.op == ConfigChange::Op::kRemove &&
+      !believed_installed_.contains(change.key)) {
+    // install -> remove for a rule the hardware never saw: both evaporate.
+    pending_.erase(node);
+    pending_index_.erase(idx);
+    return;
+  }
+  // Otherwise the latest intent replaces the queued change in place:
+  // remove -> install collapses to the install (compiler installs are
+  // idempotent upserts), install -> install and remove -> remove keep the
+  // newest payload. Queue position is preserved.
+  *node = std::move(change);
 }
 
 std::vector<ConfigChange> NetworkManager::in_flight() const {
@@ -144,8 +172,18 @@ void NetworkManager::handle_failure(ConfigChange change, const util::Error& erro
   queue_.schedule_after(sim::Seconds(backoff), [this, ticket] {
     const auto it = backoff_changes_.find(ticket);
     if (it == backoff_changes_.end()) return;
-    pending_.push_back(std::move(it->second));
+    ConfigChange retry = std::move(it->second);
     backoff_changes_.erase(it);
+    if (config_.batch_apply && pending_index_.contains(retry.key)) {
+      // A newer change for this key was queued while the retry sat out its
+      // backoff; the newer intent supersedes the failed attempt.
+      c_coalesced_.inc();
+    } else if (config_.batch_apply) {
+      pending_.push_back(std::move(retry));
+      pending_index_[pending_.back().key] = std::prev(pending_.end());
+    } else {
+      pending_.push_back(std::move(retry));
+    }
     schedule_drain();
   });
 }
@@ -167,31 +205,79 @@ void NetworkManager::schedule_drain() {
       schedule_drain();  // Tokens not there yet; re-arm strictly later.
       return;
     }
-    ConfigChange change = std::move(pending_.front());
-    pending_.pop_front();
-    // Waiting time is recorded for the first attempt only: retries would
-    // double-count a change and distort the Fig. 10b percentiles.
+    if (config_.batch_apply) {
+      drain_batch(now_s);
+    } else {
+      drain_one(now_s);
+    }
+    schedule_drain();
+  });
+}
+
+void NetworkManager::drain_one(double now_s) {
+  ConfigChange change = std::move(pending_.front());
+  pending_.pop_front();
+  // Waiting time is recorded for the first attempt only: retries would
+  // double-count a change and distort the Fig. 10b percentiles.
+  if (change.attempt == 0) {
+    stats_.waiting_times_s.push_back(now_s - change.enqueued_at_s);
+    wait_hist_.observe(now_s - change.enqueued_at_s);
+  }
+  ++change.attempt;
+  const auto applied = compiler_.apply(change);
+  settle_apply(std::move(change), applied, now_s);
+}
+
+void NetworkManager::drain_batch(double now_s) {
+  // One token admits every queued change of the front change's port, FIFO
+  // within the port, through a single compiler invocation.
+  const filter::PortId port = pending_.front().port;
+  std::vector<ConfigChange> batch;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->port != port) {
+      ++it;
+      continue;
+    }
+    pending_index_.erase(it->key);
+    batch.push_back(std::move(*it));
+    it = pending_.erase(it);
+  }
+  for (auto& change : batch) {
     if (change.attempt == 0) {
       stats_.waiting_times_s.push_back(now_s - change.enqueued_at_s);
       wait_hist_.observe(now_s - change.enqueued_at_s);
     }
     ++change.attempt;
-    auto applied = compiler_.apply(change);
-    if (applied.ok()) {
-      c_applied_.inc();
-      const bool install = change.op == ConfigChange::Op::kInstall;
-      obs::journal().append(now_s,
-                            install ? obs::EventKind::kRuleInstalled
-                                    : obs::EventKind::kRuleRemoved,
-                            change.key, change.str());
-      if (install && !change.trace.empty()) {
-        obs::tracer().mark(change.trace, "config_applied", now_s);
-      }
+  }
+  c_batches_.inc();
+  h_batch_size_.observe(static_cast<double>(batch.size()));
+  const auto results = compiler_.apply_batch(batch);
+  assert(results.size() == batch.size() && "apply_batch must return one result per change");
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    settle_apply(std::move(batch[i]), results[i], now_s);
+  }
+}
+
+void NetworkManager::settle_apply(ConfigChange change, const util::Result<void>& applied,
+                                  double now_s) {
+  if (applied.ok()) {
+    c_applied_.inc();
+    const bool install = change.op == ConfigChange::Op::kInstall;
+    if (install) {
+      believed_installed_.insert(change.key);
     } else {
-      handle_failure(std::move(change), applied.error());
+      believed_installed_.erase(change.key);
     }
-    schedule_drain();
-  });
+    obs::journal().append(now_s,
+                          install ? obs::EventKind::kRuleInstalled
+                                  : obs::EventKind::kRuleRemoved,
+                          change.key, change.str());
+    if (install && !change.trace.empty()) {
+      obs::tracer().mark(change.trace, "config_applied", now_s);
+    }
+  } else {
+    handle_failure(std::move(change), applied.error());
+  }
 }
 
 }  // namespace stellar::core

@@ -11,9 +11,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -34,6 +36,15 @@ class ConfigCompiler {
  public:
   virtual ~ConfigCompiler() = default;
   virtual util::Result<void> apply(const ConfigChange& change) = 0;
+  /// Applies a coalesced batch (one port, FIFO order) in a single compiler
+  /// invocation, returning one result per change. The default loops apply();
+  /// hardware backends may override to emit one merged device transaction.
+  virtual std::vector<util::Result<void>> apply_batch(const std::vector<ConfigChange>& changes) {
+    std::vector<util::Result<void>> results;
+    results.reserve(changes.size());
+    for (const auto& change : changes) results.push_back(apply(change));
+    return results;
+  }
   [[nodiscard]] virtual std::string_view name() const = 0;
 };
 
@@ -106,6 +117,12 @@ class NetworkManager {
     TransientClassifier transient_classifier;
     /// Retained-sample cap for waiting_times_s / failure_codes.
     std::size_t stats_retained_samples = util::RingLog<double>::kDefaultCapacity;
+    /// Batched apply (L-IXP scale): each token admits one *port-batch* — all
+    /// queued changes for the front change's port, in FIFO order, through a
+    /// single compiler invocation — and superseded install/remove churn per
+    /// change key is coalesced while still queued (before the token bucket).
+    /// Off by default: the per-change pacing is the paper's Fig. 10b setup.
+    bool batch_apply = false;
   };
 
   NetworkManager(sim::EventQueue& queue, ConfigCompiler& compiler, Config config);
@@ -120,6 +137,11 @@ class NetworkManager {
   ///   dead_lettered   == permanent_failures + retry_budget_exhausted
   struct Stats {
     std::uint64_t applied = 0;
+    /// Port-batches drained in batch_apply mode (one token each).
+    std::uint64_t batches = 0;
+    /// Queued changes annihilated or superseded by key-level coalescing
+    /// before ever reaching the token bucket (batch_apply mode only).
+    std::uint64_t coalesced = 0;
     std::uint64_t failed = 0;  ///< Failed apply attempts (any class).
     std::uint64_t transient_failures = 0;
     std::uint64_t permanent_failures = 0;
@@ -140,6 +162,8 @@ class NetworkManager {
   /// directly and need no refresh).
   [[nodiscard]] const Stats& stats() const {
     stats_.applied = c_applied_.value();
+    stats_.batches = c_batches_.value();
+    stats_.coalesced = c_coalesced_.value();
     stats_.failed = c_failed_.value();
     stats_.transient_failures = c_transient_failures_.value();
     stats_.permanent_failures = c_permanent_failures_.value();
@@ -159,13 +183,29 @@ class NetworkManager {
  private:
   [[nodiscard]] std::size_t queue_depth_now() const { return pending_.size(); }
   void schedule_drain();
+  void drain_one(double now_s);
+  void drain_batch(double now_s);
+  /// Batch-mode admission to pending_: coalesces against a queued change for
+  /// the same key (latest intent wins; install-then-remove for a rule never
+  /// installed annihilates both) instead of appending.
+  void coalesce_or_push(ConfigChange change);
+  /// Applies one change's outcome bookkeeping (journal, counters, believed-
+  /// installed tracking, failure handling).
+  void settle_apply(ConfigChange change, const util::Result<void>& applied, double now_s);
   void handle_failure(ConfigChange change, const util::Error& error);
 
   sim::EventQueue& queue_;
   ConfigCompiler& compiler_;
   Config config_;
   filter::TokenBucket bucket_;
-  std::deque<ConfigChange> pending_;
+  /// FIFO of queued changes. A list so batch-mode coalescing can splice out
+  /// superseded entries by key without disturbing iterator stability.
+  std::list<ConfigChange> pending_;
+  /// Batch mode only: key -> queued change (at most one pending per key).
+  std::map<std::string, std::list<ConfigChange>::iterator> pending_index_;
+  /// Keys whose install the compiler has acknowledged (and no later remove):
+  /// install-then-remove churn for keys NOT in here annihilates outright.
+  std::set<std::string> believed_installed_;
   std::deque<ConfigChange> dead_letter_;
   /// Changes sitting out a retry backoff, keyed by ticket (for in_flight()).
   std::map<std::uint64_t, ConfigChange> backoff_changes_;
@@ -173,6 +213,11 @@ class NetworkManager {
   bool drain_scheduled_ = false;
   double last_failed_drain_s_ = -1.0;
   obs::Counter c_applied_ = obs::registry().counter("core.manager.applied");
+  obs::Counter c_batches_ = obs::registry().counter("core.manager.batches");
+  obs::Counter c_coalesced_ = obs::registry().counter("core.manager.coalesced");
+  /// Changes per drained port-batch (batch_apply mode).
+  obs::Histogram h_batch_size_ = obs::registry().histogram(
+      "core.manager.batch_size", obs::HistogramOptions{1.0, 2.0, 12});
   obs::Counter c_failed_ = obs::registry().counter("core.manager.failed");
   obs::Counter c_transient_failures_ =
       obs::registry().counter("core.manager.transient_failures");

@@ -1,8 +1,30 @@
 #include "core/signal.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace stellar::core {
+
+namespace {
+
+/// The wire action field is a 32-bit integral Mbps rate; anything a uint32
+/// cannot represent exactly must be rejected at encode time instead of being
+/// silently truncated into a different (often drop-all) action.
+util::Result<std::uint32_t> ValidatedRateMbps(double rate) {
+  if (std::isnan(rate) || rate < 0.0) {
+    return util::MakeError("stellar.signal", "shape rate must be a non-negative Mbps value");
+  }
+  if (rate > 4294967295.0) {
+    return util::MakeError("stellar.signal", "shape rate overflows the 32-bit wire field");
+  }
+  if (rate != std::floor(rate)) {
+    return util::MakeError("stellar.signal",
+                           "shape rate must be an integral Mbps value (wire field is integer)");
+  }
+  return static_cast<std::uint32_t>(rate);
+}
+
+}  // namespace
 
 std::string_view ToString(RuleKind kind) {
   switch (kind) {
@@ -21,7 +43,8 @@ std::string SignalRule::str() const {
   return std::string(ToString(kind)) + ":" + std::to_string(value);
 }
 
-std::vector<bgp::ExtendedCommunity> EncodeSignal(std::uint16_t ixp_asn, const Signal& signal) {
+util::Result<std::vector<bgp::ExtendedCommunity>> EncodeSignal(std::uint16_t ixp_asn,
+                                                               const Signal& signal) {
   std::vector<bgp::ExtendedCommunity> out;
   out.reserve(signal.rules.size() + 1);
   for (const auto& rule : signal.rules) {
@@ -30,10 +53,13 @@ std::vector<bgp::ExtendedCommunity> EncodeSignal(std::uint16_t ixp_asn, const Si
     out.push_back(
         bgp::ExtendedCommunity::TwoOctetAs(kStellarMatchSubtype, ixp_asn, local_admin));
   }
-  if (signal.is_shaping()) {
-    out.push_back(bgp::ExtendedCommunity::TwoOctetAs(
-        kStellarActionSubtype, ixp_asn,
-        static_cast<std::uint32_t>(*signal.shape_rate_mbps)));
+  if (signal.shape_rate_mbps.has_value()) {
+    auto rate = ValidatedRateMbps(*signal.shape_rate_mbps);
+    if (!rate.ok()) return rate.error();
+    if (*rate > 0) {
+      out.push_back(
+          bgp::ExtendedCommunity::TwoOctetAs(kStellarActionSubtype, ixp_asn, *rate));
+    }
   }
   return out;
 }
@@ -60,7 +86,15 @@ util::Result<Signal> DecodeSignal(std::uint16_t ixp_asn,
       rule.value = static_cast<std::uint16_t>(admin & 0xffff);
       signal.rules.push_back(rule);
     } else if (ec.subtype() == kStellarActionSubtype) {
-      signal.shape_rate_mbps = static_cast<double>(ec.local_admin());
+      const auto rate = static_cast<double>(ec.local_admin());
+      if (signal.shape_rate_mbps.has_value() && *signal.shape_rate_mbps != rate) {
+        return util::MakeError("stellar.signal",
+                               "conflicting duplicate action communities (" +
+                                   std::to_string(static_cast<std::uint32_t>(
+                                       *signal.shape_rate_mbps)) +
+                                   " Mbps vs " + std::to_string(ec.local_admin()) + " Mbps)");
+      }
+      signal.shape_rate_mbps = rate;
     }
   }
   std::sort(signal.rules.begin(), signal.rules.end());
@@ -77,8 +111,8 @@ bool HasStellarSignal(std::uint16_t ixp_asn, std::span<const bgp::ExtendedCommun
   });
 }
 
-std::vector<bgp::LargeCommunity> EncodeSignalLarge(std::uint32_t ixp_asn,
-                                                   const Signal& signal) {
+util::Result<std::vector<bgp::LargeCommunity>> EncodeSignalLarge(std::uint32_t ixp_asn,
+                                                                 const Signal& signal) {
   std::vector<bgp::LargeCommunity> out;
   out.reserve(signal.rules.size() + 1);
   for (const auto& rule : signal.rules) {
@@ -87,9 +121,12 @@ std::vector<bgp::LargeCommunity> EncodeSignalLarge(std::uint32_t ixp_asn,
         (kStellarLargeMatchFunction << 24) | static_cast<std::uint32_t>(rule.kind),
         rule.value});
   }
-  if (signal.is_shaping()) {
-    out.push_back(bgp::LargeCommunity{ixp_asn, kStellarLargeActionFunction << 24,
-                                      static_cast<std::uint32_t>(*signal.shape_rate_mbps)});
+  if (signal.shape_rate_mbps.has_value()) {
+    auto rate = ValidatedRateMbps(*signal.shape_rate_mbps);
+    if (!rate.ok()) return rate.error();
+    if (*rate > 0) {
+      out.push_back(bgp::LargeCommunity{ixp_asn, kStellarLargeActionFunction << 24, *rate});
+    }
   }
   return out;
 }
@@ -113,7 +150,15 @@ util::Result<Signal> DecodeSignalLarge(std::uint32_t ixp_asn,
       signal.rules.push_back(
           {static_cast<RuleKind>(kind), static_cast<std::uint16_t>(lc.data2)});
     } else if (function == kStellarLargeActionFunction) {
-      signal.shape_rate_mbps = static_cast<double>(lc.data2);
+      const auto rate = static_cast<double>(lc.data2);
+      if (signal.shape_rate_mbps.has_value() && *signal.shape_rate_mbps != rate) {
+        return util::MakeError(
+            "stellar.signal",
+            "conflicting duplicate action communities (" +
+                std::to_string(static_cast<std::uint32_t>(*signal.shape_rate_mbps)) +
+                " Mbps vs " + std::to_string(lc.data2) + " Mbps)");
+      }
+      signal.shape_rate_mbps = rate;
     }
   }
   std::sort(signal.rules.begin(), signal.rules.end());

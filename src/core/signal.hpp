@@ -70,12 +70,17 @@ struct Signal {
 };
 
 /// Encodes a signal into the extended communities to attach to the /32
-/// announcement.
-[[nodiscard]] std::vector<bgp::ExtendedCommunity> EncodeSignal(std::uint16_t ixp_asn,
-                                                               const Signal& signal);
+/// announcement. The action field is a 32-bit integral Mbps rate on the wire,
+/// so a set `shape_rate_mbps` must be a non-negative integral value that fits
+/// in 32 bits; anything else (NaN, negative, fractional, overflowing) is an
+/// error rather than a silent truncation.
+[[nodiscard]] util::Result<std::vector<bgp::ExtendedCommunity>> EncodeSignal(
+    std::uint16_t ixp_asn, const Signal& signal);
 
 /// Extracts a Stellar signal from a route's extended communities.
 /// Returns an empty-rules Signal if no Stellar communities are present.
+/// Duplicate match communities deduplicate; duplicate action communities with
+/// conflicting rates are an error (never silent last-wins).
 [[nodiscard]] util::Result<Signal> DecodeSignal(std::uint16_t ixp_asn,
                                                 std::span<const bgp::ExtendedCommunity> ecs);
 
@@ -89,8 +94,10 @@ struct Signal {
 ///   global_admin = IXP ASN,
 ///   data1        = function(8) << 24 | rule kind(8),
 ///   data2        = value (port / protocol / rate in Mbps).
-[[nodiscard]] std::vector<bgp::LargeCommunity> EncodeSignalLarge(std::uint32_t ixp_asn,
-                                                                 const Signal& signal);
+/// Same rate-validity and duplicate-action semantics as the extended-community
+/// codec above.
+[[nodiscard]] util::Result<std::vector<bgp::LargeCommunity>> EncodeSignalLarge(
+    std::uint32_t ixp_asn, const Signal& signal);
 [[nodiscard]] util::Result<Signal> DecodeSignalLarge(
     std::uint32_t ixp_asn, std::span<const bgp::LargeCommunity> lcs);
 [[nodiscard]] bool HasStellarSignalLarge(std::uint32_t ixp_asn,

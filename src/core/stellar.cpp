@@ -70,8 +70,11 @@ void SignalAdvancedBlackholing(ixp::MemberRouter& member, const ixp::RouteServer
                                bool also_propagate_to_members) {
   std::vector<bgp::Community> communities;
   if (!also_propagate_to_members) communities.push_back(route_server.announce_to_none());
-  member.announce(prefix, std::move(communities),
-                  EncodeSignal(static_cast<std::uint16_t>(route_server.config().asn), signal));
+  // Invalid signals (fractional/overflowing rate) are caller bugs: value()
+  // throws instead of announcing a silently-mangled action.
+  member.announce(
+      prefix, std::move(communities),
+      EncodeSignal(static_cast<std::uint16_t>(route_server.config().asn), signal).value());
 }
 
 void SignalAdvancedBlackholingLarge(ixp::MemberRouter& member,
@@ -85,7 +88,7 @@ void SignalAdvancedBlackholingLarge(ixp::MemberRouter& member,
   if (!also_propagate_to_members) {
     update.attrs.communities.push_back(route_server.announce_to_none());
   }
-  update.attrs.large_communities = EncodeSignalLarge(route_server.config().asn, signal);
+  update.attrs.large_communities = EncodeSignalLarge(route_server.config().asn, signal).value();
   update.announced.push_back(bgp::Nlri4{0, prefix});
   member.session()->announce(std::move(update));
 }

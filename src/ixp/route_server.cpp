@@ -107,21 +107,40 @@ bgp::Asn RouteServer::member_asn_of_peer(bgp::PeerId peer) const {
 
 void RouteServer::on_member_session_closed(bgp::PeerId peer) {
   // Collect this peer's prefixes, drop them, withdraw them everywhere.
+  // A session failure implicitly withdraws the peer's blackhole routes, so it
+  // must log the same events as an explicit withdraw — otherwise the journal
+  // and looking glass undercount removals (the stored attrs describe the
+  // signaling scope of the route being torn down).
   std::vector<net::Prefix4> touched;
+  std::vector<std::pair<net::Prefix4, bgp::PathAttributes>> blackholed;
   rib_.for_each([&](const bgp::Route& route) {
-    if (route.peer == peer) touched.push_back(route.prefix);
+    if (route.peer != peer) return;
+    touched.push_back(route.prefix);
+    if (route.attrs.has_community(bgp::kBlackhole)) {
+      blackholed.emplace_back(route.prefix, route.attrs);
+    }
   });
   if (rib_.withdraw_peer(peer) > 0) {
+    for (const auto& [prefix, attrs] : blackholed) {
+      log_blackhole_event(members_[peer - 1], prefix, attrs, /*withdrawn=*/true);
+    }
     for (const auto& prefix : touched) {
       controller_withdraw(prefix, peer);
       reexport(prefix);
     }
   }
   std::vector<net::Prefix6> touched6;
+  std::vector<net::Prefix6> blackholed6;
   rib6_.for_each([&](const bgp::Route6& route) {
-    if (route.peer == peer) touched6.push_back(route.prefix);
+    if (route.peer != peer) return;
+    touched6.push_back(route.prefix);
+    if (route.attrs.has_community(bgp::kBlackhole)) blackholed6.push_back(route.prefix);
   });
   if (rib6_.withdraw_peer(peer) > 0) {
+    for (const auto& prefix : blackholed6) {
+      events6_.push_back(
+          BlackholeEvent6{queue_.now().count(), members_[peer - 1].asn, prefix, true});
+    }
     for (const auto& prefix : touched6) reexport6(prefix);
   }
 }
@@ -264,20 +283,45 @@ void RouteServer::log_blackhole_event(const MemberPeer& from, const net::Prefix4
 }
 
 void RouteServer::reexport(const net::Prefix4& prefix) {
-  for (std::size_t i = 0; i < members_.size(); ++i) reexport_to(i, prefix);
+  // One RIB walk and one export-attribute computation per distinct best path,
+  // shared across the whole member fan-out: O(paths + members) per prefix
+  // instead of O(paths * members) at L-IXP scale.
+  std::vector<PathRef> paths;
+  rib_.visit_prefix(prefix, [&](const bgp::RouteView& r) {
+    paths.push_back(PathRef{r.peer, r.path_id, &r.attrs});
+  });
+  ExportCache cache;
+  for (std::size_t i = 0; i < members_.size(); ++i) reexport_to(i, prefix, paths, cache);
 }
 
 void RouteServer::reexport_to(std::size_t member_index, const net::Prefix4& prefix) {
+  std::vector<PathRef> paths;
+  rib_.visit_prefix(prefix, [&](const bgp::RouteView& r) {
+    paths.push_back(PathRef{r.peer, r.path_id, &r.attrs});
+  });
+  ExportCache cache;
+  reexport_to(member_index, prefix, paths, cache);
+}
+
+void RouteServer::reexport_to(std::size_t member_index, const net::Prefix4& prefix,
+                              const std::vector<PathRef>& paths, ExportCache& cache) {
   MemberPeer& target = members_[member_index];
   const bgp::PeerId target_peer = static_cast<bgp::PeerId>(member_index + 1);
-  const auto routes = rib_.routes_for(prefix);
 
   // Best eligible route for this peer (not its own, scope allows).
-  const bgp::Route* best = nullptr;
-  for (const auto& r : routes) {
+  struct Cand {
+    const bgp::PathAttributes& attrs;
+    bgp::PeerId peer;
+    bgp::PathId path_id;
+  };
+  const PathRef* best = nullptr;
+  for (const auto& r : paths) {
     if (r.peer == target_peer) continue;
-    if (!eligible(r.attrs, target.asn)) continue;
-    if (best == nullptr || bgp::BetterPath(r, *best)) best = &r;
+    if (!eligible(*r.attrs, target.asn)) continue;
+    if (best == nullptr || bgp::BetterPath(Cand{*r.attrs, r.peer, r.path_id},
+                                           Cand{*best->attrs, best->peer, best->path_id})) {
+      best = &r;
+    }
   }
 
   const auto exported = target.exported.find(prefix);
@@ -290,11 +334,14 @@ void RouteServer::reexport_to(std::size_t member_index, const net::Prefix4& pref
     }
     return;
   }
-  bgp::PathAttributes out = member_export_attrs(best->attrs);
+  auto [cached, fresh] = cache.try_emplace({best->peer, best->path_id});
+  if (fresh) cached->second = bgp::Intern(member_export_attrs(*best->attrs));
+  const std::shared_ptr<const bgp::PathAttributes>& out = cached->second;
+  // Interned pointers: equal <=> the exported attributes are unchanged.
   if (exported != target.exported.end() && exported->second == out) return;
   target.exported[prefix] = out;
   bgp::UpdateMessage update;
-  update.attrs = std::move(out);
+  update.attrs = *out;
   update.announced.push_back(bgp::Nlri4{0, prefix});
   target.session->announce(std::move(update));
 }
@@ -379,19 +426,41 @@ bool RouteServer::import_accept6(const MemberPeer& from, const net::Prefix6& pre
 }
 
 void RouteServer::reexport6(const net::Prefix6& prefix) {
-  for (std::size_t i = 0; i < members_.size(); ++i) reexport_to6(i, prefix);
+  std::vector<PathRef> paths;
+  rib6_.visit_prefix(prefix, [&](const bgp::RouteView6& r) {
+    paths.push_back(PathRef{r.peer, r.path_id, &r.attrs});
+  });
+  ExportCache cache;
+  for (std::size_t i = 0; i < members_.size(); ++i) reexport_to6(i, prefix, paths, cache);
 }
 
 void RouteServer::reexport_to6(std::size_t member_index, const net::Prefix6& prefix) {
+  std::vector<PathRef> paths;
+  rib6_.visit_prefix(prefix, [&](const bgp::RouteView6& r) {
+    paths.push_back(PathRef{r.peer, r.path_id, &r.attrs});
+  });
+  ExportCache cache;
+  reexport_to6(member_index, prefix, paths, cache);
+}
+
+void RouteServer::reexport_to6(std::size_t member_index, const net::Prefix6& prefix,
+                               const std::vector<PathRef>& paths, ExportCache& cache) {
   MemberPeer& target = members_[member_index];
   const bgp::PeerId target_peer = static_cast<bgp::PeerId>(member_index + 1);
-  const auto routes = rib6_.routes_for(prefix);
 
-  const bgp::Route6* best = nullptr;
-  for (const auto& r : routes) {
+  struct Cand {
+    const bgp::PathAttributes& attrs;
+    bgp::PeerId peer;
+    bgp::PathId path_id;
+  };
+  const PathRef* best = nullptr;
+  for (const auto& r : paths) {
     if (r.peer == target_peer) continue;
-    if (!eligible(r.attrs, target.asn)) continue;
-    if (best == nullptr || bgp::BetterPath(r, *best)) best = &r;
+    if (!eligible(*r.attrs, target.asn)) continue;
+    if (best == nullptr || bgp::BetterPath(Cand{*r.attrs, r.peer, r.path_id},
+                                           Cand{*best->attrs, best->peer, best->path_id})) {
+      best = &r;
+    }
   }
 
   const auto exported = target.exported6.find(prefix);
@@ -406,11 +475,15 @@ void RouteServer::reexport_to6(std::size_t member_index, const net::Prefix6& pre
     }
     return;
   }
-  bgp::PathAttributes out = member_export_attrs6(best->attrs, prefix);
+  // The export attributes depend only on the best path (the prefix in the
+  // MP_REACH NLRI is fixed within one re-export), so the cache key holds.
+  auto [cached, fresh] = cache.try_emplace({best->peer, best->path_id});
+  if (fresh) cached->second = bgp::Intern(member_export_attrs6(*best->attrs, prefix));
+  const std::shared_ptr<const bgp::PathAttributes>& out = cached->second;
   if (exported != target.exported6.end() && exported->second == out) return;
   target.exported6[prefix] = out;
   bgp::UpdateMessage update;
-  update.attrs = std::move(out);
+  update.attrs = *out;
   target.session->announce(std::move(update));
 }
 

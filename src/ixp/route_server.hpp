@@ -117,9 +117,23 @@ class RouteServer {
     bgp::Asn asn = 0;
     std::unique_ptr<bgp::Session> session;
     /// Last attributes exported to this peer, per prefix (empty = withdrawn).
-    std::map<net::Prefix4, bgp::PathAttributes> exported;
-    std::map<net::Prefix6, bgp::PathAttributes> exported6;
+    /// Interned: all ~N members exporting the same best path share one
+    /// allocation, and the did-it-change check is a pointer comparison.
+    std::map<net::Prefix4, std::shared_ptr<const bgp::PathAttributes>> exported;
+    std::map<net::Prefix6, std::shared_ptr<const bgp::PathAttributes>> exported6;
   };
+
+  /// Borrowed view of one RIB path, shared across the per-member export loop
+  /// so the RIB is walked once per re-export instead of once per member.
+  struct PathRef {
+    bgp::PeerId peer = 0;
+    bgp::PathId path_id = 0;
+    const bgp::PathAttributes* attrs = nullptr;
+  };
+  /// (peer, path_id) -> interned export attributes, computed at most once per
+  /// distinct best path within one re-export fan-out.
+  using ExportCache =
+      std::map<std::pair<bgp::PeerId, bgp::PathId>, std::shared_ptr<const bgp::PathAttributes>>;
 
   void on_member_update(bgp::PeerId peer, const bgp::UpdateMessage& update);
   /// Implicit withdraw on session failure: every route of the dead peer is
@@ -134,7 +148,11 @@ class RouteServer {
   /// for the AFI and re-sends every eligible route.
   void on_member_refresh(bgp::PeerId peer, const bgp::RouteRefreshMessage& refresh);
   void reexport_to(std::size_t member_index, const net::Prefix4& prefix);
+  void reexport_to(std::size_t member_index, const net::Prefix4& prefix,
+                   const std::vector<PathRef>& paths, ExportCache& cache);
   void reexport_to6(std::size_t member_index, const net::Prefix6& prefix);
+  void reexport_to6(std::size_t member_index, const net::Prefix6& prefix,
+                    const std::vector<PathRef>& paths, ExportCache& cache);
   [[nodiscard]] bool import_accept6(const MemberPeer& from, const net::Prefix6& prefix,
                                     const bgp::PathAttributes& attrs);
   void reexport6(const net::Prefix6& prefix);

@@ -49,7 +49,7 @@ struct ControllerFixture {
     u.attrs.origin = bgp::Origin::kIgp;
     u.attrs.as_path = {{bgp::AsPathSegment::Type::kSequence, {origin}}};
     u.attrs.next_hop = net::IPv4Address(10, 99, 1, 1);
-    u.attrs.extended_communities = EncodeSignal(kIxp, signal);
+    u.attrs.extended_communities = EncodeSignal(kIxp, signal).value();
     u.announced = {{path_id, prefix}};
     server->announce(u);
     settle();
@@ -264,7 +264,7 @@ TEST(ControllerTest, PeriodicProcessingRunsWithoutExplicitCalls) {
   u.attrs.origin = bgp::Origin::kIgp;
   u.attrs.as_path = {{bgp::AsPathSegment::Type::kSequence, {65001}}};
   u.attrs.next_hop = net::IPv4Address(10, 99, 1, 1);
-  u.attrs.extended_communities = EncodeSignal(kIxp, NtpDrop());
+  u.attrs.extended_communities = EncodeSignal(kIxp, NtpDrop()).value();
   u.announced = {{1, P4("100.10.10.10/32")}};
   f.server->announce(u);
   // Only advance the clock: the PeriodicTask must pick the change up.

@@ -18,7 +18,7 @@ TEST(SignalLargeTest, RoundTrip) {
   signal.rules.push_back({RuleKind::kUdpSrcPort, net::kPortNtp});
   signal.rules.push_back({RuleKind::kTcpDstPort, 80});
   signal.shape_rate_mbps = 250.0;
-  const auto lcs = EncodeSignalLarge(kBigIxpAsn, signal);
+  const auto lcs = EncodeSignalLarge(kBigIxpAsn, signal).value();
   ASSERT_EQ(lcs.size(), 3u);
   EXPECT_EQ(lcs[0].global_admin, kBigIxpAsn);
   const auto decoded = DecodeSignalLarge(kBigIxpAsn, lcs);
@@ -29,7 +29,7 @@ TEST(SignalLargeTest, RoundTrip) {
 TEST(SignalLargeTest, IgnoresForeignNamespace) {
   Signal signal;
   signal.rules.push_back({RuleKind::kUdpSrcPort, 123});
-  auto lcs = EncodeSignalLarge(kBigIxpAsn, signal);
+  auto lcs = EncodeSignalLarge(kBigIxpAsn, signal).value();
   lcs.push_back(bgp::LargeCommunity{999, 1, 2});  // Someone else's community.
   const auto decoded = DecodeSignalLarge(kBigIxpAsn, lcs);
   ASSERT_TRUE(decoded.ok());
@@ -51,7 +51,7 @@ TEST(SignalLargeTest, WireRoundTripThroughUpdate) {
   u.attrs.next_hop = net::IPv4Address(1, 1, 1, 1);
   Signal signal;
   signal.rules.push_back({RuleKind::kUdpSrcPort, net::kPortNtp});
-  u.attrs.large_communities = EncodeSignalLarge(kBigIxpAsn, signal);
+  u.attrs.large_communities = EncodeSignalLarge(kBigIxpAsn, signal).value();
   u.announced = {{0, P4("100.10.10.10/32")}};
   const auto decoded = bgp::Decode(bgp::Encode(u));
   ASSERT_TRUE(decoded.ok());
@@ -149,8 +149,8 @@ TEST(SignalLargeTest, MergedNamespacesUnionRules) {
   update.attrs.next_hop = victim.info().router_ip;
   update.attrs.communities = {ixp.route_server().announce_to_none()};
   update.attrs.extended_communities =
-      EncodeSignal(static_cast<std::uint16_t>(ixp.config().asn), ext_part);
-  update.attrs.large_communities = EncodeSignalLarge(ixp.config().asn, large_part);
+      EncodeSignal(static_cast<std::uint16_t>(ixp.config().asn), ext_part).value();
+  update.attrs.large_communities = EncodeSignalLarge(ixp.config().asn, large_part).value();
   update.announced = {{0, P4("100.10.10.10/32")}};
   victim.session()->announce(std::move(update));
   ixp.settle(10.0);

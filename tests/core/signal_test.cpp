@@ -13,7 +13,7 @@ TEST(SignalCodecTest, PaperExampleUdpSrc123) {
   // §5.3: "IXP:2:123 — 2 refers to UDP source traffic and 123 to port 123".
   Signal signal;
   signal.rules.push_back({RuleKind::kUdpSrcPort, 123});
-  const auto ecs = EncodeSignal(kIxp, signal);
+  const auto ecs = EncodeSignal(kIxp, signal).value();
   ASSERT_EQ(ecs.size(), 1u);
   EXPECT_EQ(ecs[0].as_number(), kIxp);
   EXPECT_EQ(ecs[0].subtype(), kStellarMatchSubtype);
@@ -30,7 +30,7 @@ TEST(SignalCodecTest, ShapingActionRoundTrip) {
   signal.rules.push_back({RuleKind::kUdpSrcPort, 123});
   signal.shape_rate_mbps = 200.0;
   EXPECT_TRUE(signal.is_shaping());
-  const auto ecs = EncodeSignal(kIxp, signal);
+  const auto ecs = EncodeSignal(kIxp, signal).value();
   ASSERT_EQ(ecs.size(), 2u);
   const auto decoded = DecodeSignal(kIxp, ecs);
   ASSERT_TRUE(decoded.ok());
@@ -41,7 +41,7 @@ TEST(SignalCodecTest, DropIsDefaultAction) {
   Signal signal;
   signal.rules.push_back({RuleKind::kDropAll, 0});
   EXPECT_FALSE(signal.is_shaping());
-  EXPECT_EQ(EncodeSignal(kIxp, signal).size(), 1u);  // No action community.
+  EXPECT_EQ(EncodeSignal(kIxp, signal).value().size(), 1u);  // No action community.
 }
 
 TEST(SignalCodecTest, MultipleRulesSortedAndDeduplicated) {
@@ -49,7 +49,7 @@ TEST(SignalCodecTest, MultipleRulesSortedAndDeduplicated) {
   signal.rules.push_back({RuleKind::kUdpSrcPort, 123});
   signal.rules.push_back({RuleKind::kUdpSrcPort, 53});
   signal.rules.push_back({RuleKind::kUdpSrcPort, 123});  // Duplicate.
-  const auto decoded = DecodeSignal(kIxp, EncodeSignal(kIxp, signal));
+  const auto decoded = DecodeSignal(kIxp, EncodeSignal(kIxp, signal).value());
   ASSERT_TRUE(decoded.ok());
   ASSERT_EQ(decoded->rules.size(), 2u);
   EXPECT_EQ(decoded->rules[0].value, 53);
@@ -59,7 +59,7 @@ TEST(SignalCodecTest, MultipleRulesSortedAndDeduplicated) {
 TEST(SignalCodecTest, IgnoresForeignNamespaces) {
   Signal signal;
   signal.rules.push_back({RuleKind::kUdpSrcPort, 123});
-  auto ecs = EncodeSignal(kIxp, signal);
+  auto ecs = EncodeSignal(kIxp, signal).value();
   // Another IXP's community and a route target must be ignored.
   ecs.push_back(bgp::ExtendedCommunity::TwoOctetAs(kStellarMatchSubtype, 64999,
                                                    (2u << 24) | 53));
@@ -74,7 +74,7 @@ TEST(SignalCodecTest, IgnoresForeignNamespaces) {
 TEST(SignalCodecTest, HasStellarSignal) {
   Signal signal;
   signal.rules.push_back({RuleKind::kUdpSrcPort, 123});
-  const auto ecs = EncodeSignal(kIxp, signal);
+  const auto ecs = EncodeSignal(kIxp, signal).value();
   EXPECT_TRUE(HasStellarSignal(kIxp, ecs));
   EXPECT_FALSE(HasStellarSignal(64999, ecs));
   EXPECT_FALSE(HasStellarSignal(kIxp, {}));
@@ -147,7 +147,7 @@ TEST_P(SignalRoundTripTest, RoundTrip) {
   Signal signal;
   signal.rules.push_back({std::get<0>(GetParam()), std::get<1>(GetParam())});
   if (std::get<1>(GetParam()) % 2 == 0) signal.shape_rate_mbps = 500.0;
-  const auto decoded = DecodeSignal(kIxp, EncodeSignal(kIxp, signal));
+  const auto decoded = DecodeSignal(kIxp, EncodeSignal(kIxp, signal).value());
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(*decoded, signal);
 }

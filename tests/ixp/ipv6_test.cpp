@@ -136,6 +136,23 @@ TEST(Ipv6Test, SessionFailureImplicitlyWithdrawsV6Routes) {
   EXPECT_TRUE(f.honoring->rib6().routes_for(P6("2001:678:a::/48")).empty());
 }
 
+TEST(Ipv6Test, SessionFailureLogsV6BlackholeWithdrawEvent) {
+  // Regression: implicit v6 withdraws (session failure) never reached
+  // events6_, so the journal undercounted removals vs explicit withdraws.
+  V6Fixture f;
+  f.v6_member->announce6(P6("2001:678:a::1/128"), {bgp::kBlackhole});
+  f.settle();
+  ASSERT_EQ(f.ixp->route_server().blackhole_events6().size(), 1u);
+
+  f.v6_member->session()->stop();
+  f.settle();
+  ASSERT_EQ(f.ixp->route_server().blackhole_events6().size(), 2u);
+  const auto& ev = f.ixp->route_server().blackhole_events6().back();
+  EXPECT_TRUE(ev.withdrawn);
+  EXPECT_EQ(ev.member, 65001u);
+  EXPECT_EQ(ev.prefix, P6("2001:678:a::1/128"));
+}
+
 TEST(Ipv6Test, V4PathUnaffectedByV6Churn) {
   V6Fixture f;
   f.v6_member->announce6(P6("2001:678:a::1/128"), {bgp::kBlackhole});

@@ -159,6 +159,38 @@ TEST(RouteServerTest, BlackholeEventsLogged) {
   EXPECT_FALSE(ev.withdrawn);
 }
 
+TEST(RouteServerTest, SessionFailureLogsBlackholeWithdrawEvent) {
+  // Regression: the session-failure path used to call controller_withdraw but
+  // never log_blackhole_event, so implicit withdraws were invisible to the
+  // journal / looking glass while explicit withdraws were logged.
+  RsFixture f;
+  f.m1->announce(P4("100.10.10.10/32"), {bgp::kBlackhole, f.rs().exclude_peer(65002)});
+  f.settle();
+  ASSERT_EQ(f.rs().blackhole_events().size(), 1u);  // The announce.
+
+  f.m1->session()->stop();
+  f.settle();
+  ASSERT_TRUE(f.rs().adj_rib_in().routes_for(P4("100.10.10.10/32")).empty());
+
+  // Journal parity with the explicit-withdraw path: every logged announce has
+  // a matching withdrawn=true event once the route is gone.
+  ASSERT_EQ(f.rs().blackhole_events().size(), 2u);
+  const auto& ev = f.rs().blackhole_events().back();
+  EXPECT_TRUE(ev.withdrawn);
+  EXPECT_EQ(ev.member, 65001u);
+  EXPECT_EQ(ev.prefix, P4("100.10.10.10/32"));
+  // Scope attrs of the torn-down route are preserved in the event.
+  EXPECT_EQ(ev.excluded_peers, 1);
+}
+
+TEST(RouteServerTest, SessionFailureWithoutBlackholeRoutesLogsNothing) {
+  RsFixture f;
+  const auto before = f.rs().blackhole_events().size();
+  f.m3->session()->stop();  // m3 only announced its plain member prefix.
+  f.settle();
+  EXPECT_EQ(f.rs().blackhole_events().size(), before);
+}
+
 TEST(RouteServerTest, ControllerSessionReceivesAllPathsWithAddPath) {
   RsFixture f;
   auto endpoint = f.rs().accept_controller();

@@ -1,0 +1,209 @@
+// Differential tests for AggregatePrefixes/AggregatePrefixes6 against the
+// documented reference semantics ("minimal, sorted prefix list covering
+// exactly the union of the inputs"): a naive O(n^2) fixpoint of
+// dedup + contained-prefix removal + sibling merge. The minimal prefix cover
+// of an address set is unique, so the fast single-sweep implementation must
+// match the reference byte-for-byte, and both must cover exactly the same
+// addresses as the input.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/aggregate.hpp"
+#include "net/ip.hpp"
+#include "util/rng.hpp"
+
+namespace stellar::net {
+namespace {
+
+bool Siblings4(const Prefix4& a, const Prefix4& b) {
+  if (a.length() != b.length() || a.length() == 0) return false;
+  return (a.address().value() ^ b.address().value()) == (1u << (32 - a.length()));
+}
+
+bool Siblings6(const Prefix6& a, const Prefix6& b) {
+  if (a.length() != b.length() || a.length() == 0) return false;
+  const int bit_index = a.length() - 1;
+  const auto byte = static_cast<std::size_t>(bit_index / 8);
+  const auto mask = static_cast<std::uint8_t>(0x80 >> (bit_index % 8));
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::uint8_t diff = a.address().bytes()[i] ^ b.address().bytes()[i];
+    if (i == byte ? diff != mask : diff != 0) return false;
+  }
+  return true;
+}
+
+/// Reference semantics: iterate dedup / containment removal / sibling merge to
+/// a fixpoint. Quadratic and obviously correct; the production sweep must
+/// produce the identical (unique) minimal cover.
+template <typename PrefixT, typename SiblingFn, typename ParentFn>
+std::vector<PrefixT> ReferenceAggregate(std::vector<PrefixT> set, SiblingFn siblings,
+                                        ParentFn parent) {
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < set.size() && !changed; ++i) {
+      for (std::size_t j = 0; j < set.size() && !changed; ++j) {
+        if (i == j) continue;
+        if (set[i].contains(set[j])) {
+          set.erase(set.begin() + static_cast<std::ptrdiff_t>(j));
+          changed = true;
+        } else if (siblings(set[i], set[j])) {
+          const PrefixT merged = parent(set[i]);
+          set.erase(set.begin() + static_cast<std::ptrdiff_t>(std::max(i, j)));
+          set.erase(set.begin() + static_cast<std::ptrdiff_t>(std::min(i, j)));
+          set.push_back(merged);
+          changed = true;
+        }
+      }
+    }
+  }
+  std::sort(set.begin(), set.end());
+  return set;
+}
+
+std::vector<Prefix4> Reference4(std::vector<Prefix4> set) {
+  return ReferenceAggregate(
+      std::move(set), Siblings4, [](const Prefix4& p) {
+        return Prefix4(p.address(), static_cast<std::uint8_t>(p.length() - 1));
+      });
+}
+
+std::vector<Prefix6> Reference6(std::vector<Prefix6> set) {
+  return ReferenceAggregate(
+      std::move(set), Siblings6, [](const Prefix6& p) {
+        return Prefix6(p.address(), static_cast<std::uint8_t>(p.length() - 1));
+      });
+}
+
+/// Random sets dense enough that duplicates, supersets, adjacent siblings and
+/// mixed lengths all occur: addresses confined to a tiny region so prefixes
+/// collide, and each draw sometimes emits both halves of a parent.
+std::vector<Prefix4> RandomSet4(util::Rng& rng) {
+  std::vector<Prefix4> set;
+  const int n = static_cast<int>(rng.uniform_int(0, 24));
+  for (int i = 0; i < n; ++i) {
+    const auto len = static_cast<std::uint8_t>(rng.uniform_int(20, 28));
+    // 10.0.0.0/18 region: ~64 distinct /24s, so nesting is the common case.
+    const auto addr = IPv4Address(
+        0x0a000000u | (static_cast<std::uint32_t>(rng.uniform_int(0, 0x3fff)) << 4));
+    const Prefix4 p(addr, len);
+    set.push_back(p);
+    if (rng.uniform_int(0, 3) == 0) set.push_back(p);  // Duplicate.
+    if (rng.uniform_int(0, 2) == 0 && len < 32) {
+      // Both halves of p: guarantees sibling merges (possibly cascading).
+      set.emplace_back(p.address(), static_cast<std::uint8_t>(len + 1));
+      set.emplace_back(IPv4Address(p.address().value() | (1u << (32 - (len + 1)))),
+                       static_cast<std::uint8_t>(len + 1));
+    }
+    if (rng.uniform_int(0, 3) == 0 && len > 18) {
+      set.emplace_back(p.address(), static_cast<std::uint8_t>(len - 2));  // Superset.
+    }
+  }
+  return set;
+}
+
+std::vector<Prefix6> RandomSet6(util::Rng& rng) {
+  std::vector<Prefix6> set;
+  const int n = static_cast<int>(rng.uniform_int(0, 16));
+  for (int i = 0; i < n; ++i) {
+    const auto len = static_cast<std::uint8_t>(rng.uniform_int(34, 44));
+    IPv6Address::Bytes b{};
+    b[0] = 0x20;
+    b[1] = 0x01;
+    b[2] = 0x0d;
+    b[3] = 0xb8;
+    b[4] = static_cast<std::uint8_t>(rng.uniform_int(0, 3));
+    b[5] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const Prefix6 p(IPv6Address(b), len);
+    set.push_back(p);
+    if (rng.uniform_int(0, 3) == 0) set.push_back(p);
+    if (rng.uniform_int(0, 2) == 0 && len < 128) {
+      const auto child_len = static_cast<std::uint8_t>(len + 1);
+      set.emplace_back(p.address(), child_len);
+      IPv6Address::Bytes hb = p.address().bytes();
+      hb[static_cast<std::size_t>((child_len - 1) / 8)] |=
+          static_cast<std::uint8_t>(0x80 >> ((child_len - 1) % 8));
+      set.emplace_back(IPv6Address(hb), child_len);
+    }
+    if (rng.uniform_int(0, 3) == 0 && len > 34) {
+      set.emplace_back(p.address(), static_cast<std::uint8_t>(len - 2));
+    }
+  }
+  return set;
+}
+
+class AggregateDiffTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AggregateDiffTest, V4MatchesReferenceSemantics) {
+  util::Rng rng(GetParam());
+  for (int iter = 0; iter < 400; ++iter) {
+    const auto input = RandomSet4(rng);
+    const auto got = AggregatePrefixes(input);
+    const auto want = Reference4(input);
+    ASSERT_EQ(got, want) << "iter " << iter;
+    // Output must be sorted and cover exactly the same addresses.
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+    for (int s = 0; s < 64; ++s) {
+      const IPv4Address addr(
+          0x0a000000u | static_cast<std::uint32_t>(rng.uniform_int(0, 0x7ffff)));
+      EXPECT_EQ(CoveredBy(input, addr), CoveredBy(got, addr)) << addr.str();
+    }
+    // Aggregating is idempotent.
+    EXPECT_EQ(AggregatePrefixes(got), got);
+  }
+}
+
+TEST_P(AggregateDiffTest, V6MatchesReferenceSemantics) {
+  util::Rng rng(GetParam() + 77);
+  for (int iter = 0; iter < 250; ++iter) {
+    const auto input = RandomSet6(rng);
+    const auto got = AggregatePrefixes6(input);
+    const auto want = Reference6(input);
+    ASSERT_EQ(got, want) << "iter " << iter;
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+    for (int s = 0; s < 32; ++s) {
+      IPv6Address::Bytes b{};
+      b[0] = 0x20;
+      b[1] = 0x01;
+      b[2] = 0x0d;
+      b[3] = 0xb8;
+      b[4] = static_cast<std::uint8_t>(rng.uniform_int(0, 3));
+      b[5] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      b[6] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      const IPv6Address addr(b);
+      EXPECT_EQ(CoveredBy6(input, addr), CoveredBy6(got, addr)) << addr.str();
+    }
+    EXPECT_EQ(AggregatePrefixes6(got), got);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregateDiffTest, ::testing::Values(1, 2, 3, 4));
+
+// Deterministic corner cases called out in the issue.
+TEST(AggregateDiffTest, HandAuthoredCornerCases) {
+  const auto p = [](const char* s) { return Prefix4::Parse(s).value(); };
+  // Four /26 siblings cascade into one /24.
+  EXPECT_EQ(AggregatePrefixes({p("10.0.0.0/26"), p("10.0.0.64/26"), p("10.0.0.128/26"),
+                               p("10.0.0.192/26")}),
+            std::vector<Prefix4>{p("10.0.0.0/24")});
+  // A merge result swallowed by an earlier superset.
+  EXPECT_EQ(AggregatePrefixes({p("10.0.0.0/23"), p("10.0.1.0/25"), p("10.0.1.128/25")}),
+            std::vector<Prefix4>{p("10.0.0.0/23")});
+  // Adjacent but not siblings (would span an odd boundary).
+  EXPECT_EQ(AggregatePrefixes({p("10.0.1.0/24"), p("10.0.2.0/24")}),
+            (std::vector<Prefix4>{p("10.0.1.0/24"), p("10.0.2.0/24")}));
+  // Duplicates plus mixed lengths.
+  EXPECT_EQ(AggregatePrefixes({p("10.0.0.0/24"), p("10.0.0.0/24"), p("10.0.0.0/25"),
+                               p("10.0.0.128/25")}),
+            std::vector<Prefix4>{p("10.0.0.0/24")});
+  // Default route swallows everything.
+  EXPECT_EQ(AggregatePrefixes({p("0.0.0.0/0"), p("10.0.0.0/8"), p("192.168.0.0/16")}),
+            std::vector<Prefix4>{p("0.0.0.0/0")});
+}
+
+}  // namespace
+}  // namespace stellar::net

@@ -22,7 +22,7 @@ bgp::UpdateMessage TemplateUpdate() {
   core::Signal signal;
   signal.rules.push_back({core::RuleKind::kUdpSrcPort, net::kPortNtp});
   signal.shape_rate_mbps = 200.0;
-  u.attrs.extended_communities = core::EncodeSignal(64500, signal);
+  u.attrs.extended_communities = core::EncodeSignal(64500, signal).value();
   u.attrs.large_communities = {{64500, 7, 9}};
   bgp::MpReachIPv6 reach;
   reach.next_hop = net::IPv6Address::Parse("2001:db8::1").value();
@@ -124,7 +124,7 @@ TEST_P(CodecFuzzTest, SignalDecoderHandlesArbitraryExtendedCommunities) {
     auto decoded = core::DecodeSignal(64500, ecs);
     if (decoded.ok()) {
       // Decoded rules must round-trip.
-      auto re = core::DecodeSignal(64500, core::EncodeSignal(64500, *decoded));
+      auto re = core::DecodeSignal(64500, core::EncodeSignal(64500, *decoded).value());
       ASSERT_TRUE(re.ok());
       EXPECT_EQ(*re, *decoded);
     }
